@@ -1,0 +1,48 @@
+"""Repo-specific ablation: the implementation choices DESIGN.md documents.
+
+Not a paper table — this bench justifies the two places where our default
+deviates from the paper's literal algorithm (see DESIGN.md §6):
+
+* **linkage schedule**: staged (train Fl/Fr first, calibration writes are
+  sticky) vs the paper's joint interleaving;
+* **transitivity warm-up**: first calibration after 5 EM iterations vs
+  calibrating from iteration 0.
+
+Run on the two datasets where transitivity does real work: the 1-to-many
+publications set and the sibling-heavy product set.
+"""
+
+from _bench_utils import emit, one_shot
+
+from repro.core import ZeroERConfig
+from repro.eval.harness import format_table, prepare_dataset, zeroer_f1
+
+DATASETS = ("mv_ri", "prod_ag")
+
+
+def test_linkage_mode_and_warmup_ablation(benchmark, capfd):
+    def run():
+        results = []
+        for name in DATASETS:
+            prep = prepare_dataset(name)
+            row = {"dataset": name}
+            row["noT"] = zeroer_f1(prep, ZeroERConfig(transitivity=False))
+            for mode in ("staged", "joint"):
+                for warmup in (0, 5):
+                    config = ZeroERConfig(linkage_mode=mode, transitivity_warmup=warmup)
+                    row[f"{mode}/w{warmup}"] = zeroer_f1(prep, config)
+            results.append(row)
+        return results
+
+    rows = one_shot(benchmark, run)
+    columns = ["dataset", "noT", "staged/w0", "staged/w5", "joint/w0", "joint/w5"]
+    emit(capfd, "")
+    emit(capfd, format_table(rows, columns,
+                             title="Implementation ablation — linkage schedule × warm-up (F1)"))
+
+    for row in rows:
+        # transitivity (in our default configuration) must not be worse than
+        # no transitivity by more than noise, and helps on the product set
+        assert row["staged/w5"] >= row["noT"] - 0.05, row["dataset"]
+    by_name = {r["dataset"]: r for r in rows}
+    assert by_name["prod_ag"]["staged/w5"] > by_name["prod_ag"]["noT"] + 0.1

@@ -1,0 +1,135 @@
+"""Figure 4: sensitivity to κ, the initialization threshold ε, and the
+amount of unlabeled training data.
+
+Three sweeps per dataset. The κ and ε sweeps use the full model
+(transitivity included) except on pub_ds, whose coupled fit takes ~a minute
+per configuration — there the sweep uses the transitivity-free model, whose
+κ/ε response is the same shape. The data-fraction sweep fits on subsamples
+without pair context, so it is transitivity-free by construction (as in the
+paper, which predicts the held-out remainder).
+
+* (a) κ ∈ {0, …, 1}: robust plateau for intermediate values, degradation at
+  κ = 0 (singularity) and large κ (underfitting) on some datasets;
+* (b) ε ∈ {0, …, 1}: flat in the middle, EM failure at the extremes;
+* (c) unlabeled-training fraction: fit on a subsample, predict the rest —
+  good F1 already with ~10% of the pairs.
+"""
+
+import numpy as np
+from _bench_utils import DATASET_ORDER, one_shot, emit
+
+from repro.core import ZeroER, ZeroERConfig, ZeroERError
+from repro.eval import f_score
+from repro.eval.harness import format_table, prepare_dataset, zeroer_f1
+from repro.utils.rng import ensure_rng
+
+KAPPAS = (0.0, 0.05, 0.15, 0.3, 0.6, 1.0)
+EPSILONS = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig4a_kappa_sensitivity(benchmark, capfd):
+    def run():
+        return {
+            name: [
+                zeroer_f1(
+                    prepare_dataset(name),
+                    ZeroERConfig(transitivity=(name != "pub_ds"), kappa=k),
+                )
+                for k in KAPPAS
+            ]
+            for name in DATASET_ORDER
+        }
+
+    results = one_shot(benchmark, run)
+    rows = [
+        {"dataset": name, **{f"k={k:g}": f1 for k, f1 in zip(KAPPAS, results[name])}}
+        for name in DATASET_ORDER
+    ]
+    emit(capfd, "")
+    emit(capfd, format_table(rows, ["dataset"] + [f"k={k:g}" for k in KAPPAS],
+                       title="Figure 4(a) — F1 vs regularization κ"))
+
+    # the mid-range plateau is at least as good as the unregularized end on
+    # most datasets (the hard product sets can basin-hop between local optima)
+    stable = 0
+    for name in DATASET_ORDER:
+        curve = dict(zip(KAPPAS, results[name]))
+        if max(curve[0.15], curve[0.3]) >= curve[0.0] - 0.05:
+            stable += 1
+    assert stable >= 4, stable
+    # κ = 0 collapses on at least two datasets (the singularity problem)
+    assert sum(1 for n in DATASET_ORDER if results[n][0] < 0.6) >= 2
+
+
+def test_fig4b_init_threshold_sensitivity(benchmark, capfd):
+    def run():
+        return {
+            name: [
+                zeroer_f1(
+                    prepare_dataset(name),
+                    ZeroERConfig(transitivity=(name != "pub_ds"), init_threshold=e),
+                )
+                for e in EPSILONS
+            ]
+            for name in DATASET_ORDER
+        }
+
+    results = one_shot(benchmark, run)
+    rows = [
+        {"dataset": name, **{f"e={e:g}": f1 for e, f1 in zip(EPSILONS, results[name])}}
+        for name in DATASET_ORDER
+    ]
+    emit(capfd, "")
+    emit(capfd, format_table(rows, ["dataset"] + [f"e={e:g}" for e in EPSILONS],
+                       title="Figure 4(b) — F1 vs initialization threshold ε"))
+
+    for name in DATASET_ORDER:
+        curve = dict(zip(EPSILONS, results[name]))
+        # EM cannot run at the extremes (reported as 0)
+        assert curve[0.0] == 0.0 and curve[1.0] == 0.0
+        # the default ε = 0.5 is a safe choice: within the interior optimum
+        interior = [curve[e] for e in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert curve[0.5] >= max(interior) - 0.15, name
+
+
+def test_fig4c_unlabeled_data_fraction(benchmark, capfd):
+    def run():
+        results = {}
+        for name in DATASET_ORDER:
+            prep = prepare_dataset(name)
+            rng = ensure_rng(11)
+            n = len(prep.y)
+            order = rng.permutation(n)
+            curve = []
+            for fraction in FRACTIONS:
+                n_fit = max(30, int(round(fraction * n)))
+                fit_idx = order[:n_fit]
+                try:
+                    model = ZeroER(transitivity=False).fit(
+                        prep.X[fit_idx], feature_groups=prep.feature_groups
+                    )
+                    if fraction >= 1.0:
+                        f1 = f_score(prep.y, model.labels_)
+                    else:
+                        eval_idx = order[n_fit:]
+                        f1 = f_score(prep.y[eval_idx], model.predict(prep.X[eval_idx]))
+                except ZeroERError:
+                    f1 = 0.0
+                curve.append(f1)
+            results[name] = curve
+        return results
+
+    results = one_shot(benchmark, run)
+    rows = [
+        {"dataset": name, **{f"{f:g}": v for f, v in zip(FRACTIONS, results[name])}}
+        for name in DATASET_ORDER
+    ]
+    emit(capfd, "")
+    emit(capfd, format_table(rows, ["dataset"] + [f"{f:g}" for f in FRACTIONS],
+                       title="Figure 4(c) — F1 vs unlabeled training fraction"))
+
+    for name in DATASET_ORDER:
+        curve = dict(zip(FRACTIONS, results[name]))
+        # ~10% of the unlabeled pairs already gets close to the full fit
+        assert curve[0.1] >= curve[1.0] - 0.25, name

@@ -1,0 +1,51 @@
+"""Table 1: dataset characteristics.
+
+Regenerates every benchmark at the bench scale and prints its statistics
+next to the paper's Table 1 (which is at paper scale; at
+``REPRO_SCALE=paper`` the counts match Table 1 up to the documented
+many-to-many clamp on Abt-Buy).
+"""
+
+from _bench_utils import DATASET_ORDER, PAPER_TABLE1, one_shot, emit
+
+from repro.data import dataset_statistics, load_benchmark
+from repro.data.benchmarks import SCALE_FACTORS, _SPECS
+from repro.eval.harness import bench_scale, format_table
+
+
+def test_table1_dataset_characteristics(benchmark, capfd):
+    def run():
+        return [dataset_statistics(load_benchmark(name)) for name in DATASET_ORDER]
+
+    stats = one_shot(benchmark, run)
+    scale = bench_scale()
+    rows = []
+    for entry in stats:
+        name = entry["notation"]
+        rows.append(
+            {
+                "dataset": entry["dataset"],
+                "tuples": entry["tuples"],
+                "matches": entry["n_matches"],
+                "attrs": entry["n_attributes"],
+                "paper_tuples": PAPER_TABLE1[name]["tuples"],
+                "paper_matches": PAPER_TABLE1[name]["matches"],
+                "paper_attrs": PAPER_TABLE1[name]["attrs"],
+            }
+        )
+    emit(capfd, "")
+    emit(capfd, format_table(
+        rows,
+        ["dataset", "tuples", "matches", "attrs", "paper_tuples", "paper_matches", "paper_attrs"],
+        title=f"Table 1 — dataset characteristics (scale={scale})",
+    ))
+
+    # shape checks: attribute counts match exactly; row/match counts scale
+    factor = SCALE_FACTORS[scale]
+    for entry in stats:
+        name = entry["notation"]
+        spec = _SPECS[name]
+        assert entry["n_attributes"] == PAPER_TABLE1[name]["attrs"]
+        assert entry["n_matches"] >= 12
+        expected_left = max(30, int(round(spec.left_rows * factor)))
+        assert entry["n_left"] == expected_left

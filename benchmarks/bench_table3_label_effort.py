@@ -1,0 +1,106 @@
+"""Table 3: how many labeled pairs do supervised methods need to match
+ZeroER?
+
+For each dataset and supervised method we walk an ascending ladder of
+labeled-training fractions (of the candidate set) and stop at the first
+fraction whose mean F1 reaches ZeroER's. Fractions above 50% are reported
+as "100%" — the paper's own protocol trains on at most half the data, so
+"needs more than half" is the saturation bucket.
+"""
+
+import numpy as np
+from _bench_utils import (
+    emit,
+    DATASET_ORDER,
+    PAPER_TABLE3,
+    make_supervised,
+    one_shot,
+    preprocessed,
+)
+
+from repro.baselines import oversample_minority
+from repro.eval import f_score
+from repro.eval.harness import format_table, prepare_dataset, run_zeroer
+from repro.utils.rng import ensure_rng
+
+FRACTIONS = (0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5)
+METHODS = ("LR", "RF", "MLP")
+N_REPEATS = 2
+
+
+def f1_at_fraction(prep, X, method: str, fraction: float) -> float:
+    scores = []
+    n = len(prep.y)
+    n_label = max(4, int(round(fraction * n)))
+    if n_label >= n - 4:
+        return 0.0
+    for repeat in range(N_REPEATS):
+        rng = ensure_rng(1000 * repeat + 17)
+        order = rng.permutation(n)
+        label_idx, eval_idx = order[:n_label], order[n_label:]
+        y_train = prep.y[label_idx]
+        if len(np.unique(y_train)) < 2:
+            scores.append(0.0)
+            continue
+        X_train, y_train = oversample_minority(X[label_idx], y_train, random_state=repeat)
+        model = make_supervised(method, repeat)
+        model.fit(X_train, y_train)
+        scores.append(f_score(prep.y[eval_idx], model.predict(X[eval_idx])))
+    return float(np.mean(scores))
+
+
+def test_table3_labeling_effort_saved(benchmark, capfd):
+    def run():
+        results = {}
+        for name in DATASET_ORDER:
+            prep = prepare_dataset(name)
+            X = preprocessed(prep)
+            target = run_zeroer(prep)["f1"]
+            per_method = {}
+            for method in METHODS:
+                needed = None
+                for fraction in FRACTIONS:
+                    if f1_at_fraction(prep, X, method, fraction) >= target - 1e-9:
+                        needed = fraction
+                        break
+                per_method[method] = needed
+            results[name] = {"target": target, "needed": per_method, "n": len(prep.y)}
+        return results
+
+    results = one_shot(benchmark, run)
+
+    rows = []
+    for name in DATASET_ORDER:
+        entry = results[name]
+        row = {"dataset": name, "zeroer_f1": entry["target"]}
+        for method in METHODS:
+            fraction = entry["needed"][method]
+            if fraction is None:
+                row[method] = "100%"
+                row[f"{method}_tuples"] = entry["n"]
+            else:
+                row[method] = f"{100 * fraction:g}%"
+                row[f"{method}_tuples"] = int(round(fraction * entry["n"]))
+            paper_pct, paper_tuples = PAPER_TABLE3[name][method]
+            row[f"paper_{method}"] = f"{paper_pct}/{paper_tuples}"
+        rows.append(row)
+    columns = ["dataset", "zeroer_f1"]
+    for method in METHODS:
+        columns += [method, f"{method}_tuples", f"paper_{method}"]
+    emit(capfd, "")
+    emit(capfd, format_table(rows, columns, title="Table 3 — labels needed to match ZeroER"))
+
+    # shape checks: somewhere the supervised methods saturate (ZeroER is
+    # never matched with the largest training budget) ...
+    saturated = sum(
+        1 for name in DATASET_ORDER for m in METHODS if results[name]["needed"][m] is None
+    )
+    assert saturated >= 2
+    # ... and where they do catch up, hundreds of labels are still required
+    caught_up = [
+        int(round(results[name]["needed"][m] * results[name]["n"]))
+        for name in DATASET_ORDER
+        for m in METHODS
+        if results[name]["needed"][m] is not None
+    ]
+    assert caught_up and min(caught_up) >= 10

@@ -1,0 +1,66 @@
+"""Table 4: ablation analysis of ZeroER's four innovations.
+
+Eleven model variants per dataset: three covariance structures × three
+regularization modes, plus shared-correlation (P) and transitivity (T) on
+top of the grouped+adaptive configuration. κ = 0.6 for the partially
+equipped variants and 0.15 for the final model, exactly as in §7.3.
+"""
+
+import numpy as np
+from _bench_utils import DATASET_ORDER, PAPER_TABLE4, one_shot, emit
+
+from repro.core import ablation_variants
+from repro.eval.harness import format_table, prepare_dataset, zeroer_f1
+
+VARIANTS = list(ablation_variants())
+
+
+def test_table4_ablation(benchmark, capfd):
+    def run():
+        variants = ablation_variants()
+        results = {}
+        for name in DATASET_ORDER:
+            prep = prepare_dataset(name)
+            results[name] = {
+                label: zeroer_f1(prep, config) for label, config in variants.items()
+            }
+        return results
+
+    results = one_shot(benchmark, run)
+
+    emit(capfd, "")
+    for name in DATASET_ORDER:
+        rows = [
+            {
+                "variant": label,
+                "F1": results[name][label],
+                "paper_F1": PAPER_TABLE4[name][label],
+            }
+            for label in VARIANTS
+        ]
+        emit(capfd, format_table(rows, ["variant", "F1", "paper_F1"], title=f"Table 4 — {name}"))
+        emit(capfd, "")
+
+    # Shape checks mirroring §7.3's observations:
+    # 1. the final model is at or near the top of its column on most datasets
+    near_top = sum(
+        1
+        for name in DATASET_ORDER
+        if results[name]["G+A+P+T"] >= max(results[name].values()) - 0.1
+    )
+    assert near_top >= 4
+    # 2. regularization rescues the no-reg variants on most datasets
+    #    (the singularity problem): best adaptive variant vs best no-reg one
+    improved = sum(
+        1
+        for name in DATASET_ORDER
+        if max(results[name][v] for v in ("F-Adp", "I-Adp", "G-Adp"))
+        >= max(results[name][v] for v in ("Full", "Independent", "Grouped")) - 1e-9
+    )
+    assert improved >= 4
+    # 3. adaptive beats Tikhonov under grouping on average
+    adp = np.mean([results[n]["G-Adp"] for n in DATASET_ORDER])
+    tik = np.mean([results[n]["G-Tik"] for n in DATASET_ORDER])
+    assert adp >= tik - 0.02
+    # 4. transitivity is decisive on the hardest dataset
+    assert results["prod_ag"]["G+A+P+T"] >= results["prod_ag"]["G+A+P"] + 0.1

@@ -1,0 +1,58 @@
+"""Record linkage with transitivity: the DBLP-Scholar scenario (paper §5).
+
+The Scholar side holds multiple corrupted copies of the same publication, so
+one DBLP record legitimately matches several Scholar records. Matching this
+correctly needs the paper's three-model training: a cross-table model F plus
+within-table models Fl/Fr whose posteriors close the transitivity triangles.
+
+This example contrasts plain ZeroER (no transitivity) with the coupled
+ZeroERLinkage trainer and shows the discovered 1-to-many clusters.
+
+Run:  python examples/publications_linkage.py
+"""
+
+from collections import defaultdict
+
+from repro import ZeroERConfig
+from repro.eval import precision_recall_f1
+from repro.eval.harness import prepare_dataset, run_zeroer
+
+
+def main() -> None:
+    # prepare_dataset does blocking + featurization + the within-table
+    # candidate sets (co-candidate pairs) that Fl/Fr train on.
+    prep = prepare_dataset("pub_ds", scale="small")
+    print(f"cross candidates: {prep.n_pairs}")
+    print(f"within-left candidates:  {len(prep.left_pairs)}")
+    print(f"within-right candidates: {len(prep.right_pairs)}")
+
+    plain = run_zeroer(prep, ZeroERConfig(transitivity=False))
+    print(
+        f"\nwithout transitivity: P={plain['precision']:.3f} "
+        f"R={plain['recall']:.3f} F1={plain['f1']:.3f}"
+    )
+
+    coupled = run_zeroer(prep, ZeroERConfig(transitivity=True))
+    print(
+        f"with F/Fl/Fr coupling: P={coupled['precision']:.3f} "
+        f"R={coupled['recall']:.3f} F1={coupled['f1']:.3f}"
+    )
+
+    # Show a few 1-to-many clusters the coupled model found.
+    by_left = defaultdict(list)
+    for pair, label, score in zip(prep.pairs, coupled["labels"], coupled["scores"]):
+        if label == 1:
+            by_left[pair[0]].append((pair[1], score))
+    multi = {l: rs for l, rs in by_left.items() if len(rs) >= 2}
+    print(f"\nleft records matched to 2+ right records: {len(multi)}")
+    for left_id in list(multi)[:3]:
+        title = prep.dataset.left.get(left_id)["title"]
+        print(f"\n  DBLP: {title!r}")
+        for right_id, score in multi[left_id]:
+            right_title = prep.dataset.right.get(right_id)["title"]
+            gold = "gold" if prep.dataset.is_match(left_id, right_id) else "WRONG"
+            print(f"    γ={score:.3f} [{gold}] Scholar: {right_title!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of *ZeroER: Entity Resolution using Zero
+Labeled Examples* (SIGMOD 2020).
+
+Top-level convenience exports cover the common workflow::
+
+    from repro import ZeroER, ZeroERConfig, FeatureGenerator, load_benchmark
+    from repro.blocking import TokenOverlapBlocker
+
+    ds = load_benchmark("rest_fz")
+    pairs = TokenOverlapBlocker("name").block(ds.left, ds.right)
+    gen = FeatureGenerator().fit(ds.left, ds.right, ds.attributes)
+    X = gen.transform(ds.left, ds.right, pairs)
+    labels = ZeroER().fit_predict(X, gen.feature_groups_, pairs)
+
+Subpackages: :mod:`repro.core` (the generative model), :mod:`repro.text`
+(similarity functions), :mod:`repro.features` (Magellan-style feature
+generation), :mod:`repro.blocking`, :mod:`repro.data` (tables + benchmark
+generators), :mod:`repro.baselines` (from-scratch supervised/unsupervised
+baselines), :mod:`repro.eval` (metrics + experiment harness).
+"""
+
+from repro.core import (
+    EMFailureError,
+    InitializationError,
+    ZeroER,
+    ZeroERConfig,
+    ZeroERError,
+    ZeroERLinkage,
+    ablation_variants,
+)
+from repro.data import ERDataset, Table, load_benchmark
+from repro.features import FeatureGenerator
+from repro.pipeline import ERPipeline, ERResult
+
+#: The paper's arXiv preprint used the name AutoER; same model.
+AutoER = ZeroER
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ZeroER",
+    "AutoER",
+    "ZeroERLinkage",
+    "ZeroERConfig",
+    "ablation_variants",
+    "ZeroERError",
+    "InitializationError",
+    "EMFailureError",
+    "FeatureGenerator",
+    "Table",
+    "ERDataset",
+    "ERPipeline",
+    "ERResult",
+    "load_benchmark",
+    "__version__",
+]

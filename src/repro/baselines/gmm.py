@@ -1,0 +1,91 @@
+"""The "GMM" baseline: plain two-component full-covariance Gaussian mixture.
+
+This is what the paper compares ZeroER against to show that an off-the-shelf
+GMM is not enough (§7.2): no feature grouping, no adaptive regularization,
+no shared correlation, no transitivity — just EM with the uniform diagonal
+floor (``reg_covar``) that sklearn applies. Random-responsibility
+initialization with several restarts, best likelihood wins.
+
+Internally this reuses the same EM engine as ZeroER with the corresponding
+ablation configuration, so the baseline differs from ZeroER in exactly the
+ways the paper says it does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ZeroERConfig
+from repro.core.em import EMRunner
+from repro.features.normalize import MinMaxNormalizer, impute_nan
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["GaussianMixtureMatcher"]
+
+
+class GaussianMixtureMatcher:
+    """Two-component GMM matcher with sklearn-style Tikhonov floor.
+
+    Parameters
+    ----------
+    reg_covar:
+        Constant added to every covariance diagonal (sklearn's default-style
+        floor; the paper's §3.3 discussion of uniform regularization).
+    n_init:
+        Random restarts; the run with the best final likelihood wins.
+    """
+
+    def __init__(
+        self,
+        reg_covar: float = 1e-6,
+        n_init: int = 3,
+        max_iter: int = 200,
+        tol: float = 1e-5,
+        random_state=None,
+    ):
+        if reg_covar < 0.0:
+            raise ValueError(f"reg_covar must be non-negative, got {reg_covar}")
+        self.reg_covar = float(reg_covar)
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.match_scores_: np.ndarray | None = None
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Cluster the similarity vectors; returns 0/1 match labels.
+
+        The component with the larger mean-vector magnitude is labeled the
+        match component (similarity vectors of matches are large).
+        """
+        X = check_feature_matrix(X, allow_nan=True)
+        X = impute_nan(MinMaxNormalizer().fit_transform(X))
+        rng = ensure_rng(self.random_state)
+        config = ZeroERConfig(
+            covariance="full",
+            regularization="tikhonov",
+            kappa=self.reg_covar,
+            shared_correlation=False,
+            transitivity=False,
+            max_iter=self.max_iter,
+            tol=self.tol,
+        )
+        best_runner: EMRunner | None = None
+        best_ll = -np.inf
+        for _ in range(self.n_init):
+            runner = EMRunner(X, None, config)
+            # random soft responsibilities (plain GMM initialization)
+            runner.gamma = rng.uniform(0.05, 0.95, size=X.shape[0])
+            runner.run()
+            ll = runner.history.log_likelihoods[-1]
+            if ll > best_ll:
+                best_ll, best_runner = ll, runner
+        gamma = best_runner.gamma
+        # orient components: matches are the high-similarity cluster
+        mean_match = best_runner.params.match.mean
+        mean_unmatch = best_runner.params.unmatch.mean
+        if np.linalg.norm(mean_unmatch) > np.linalg.norm(mean_match):
+            gamma = 1.0 - gamma
+        self.match_scores_ = gamma
+        return (gamma > 0.5).astype(np.int64)

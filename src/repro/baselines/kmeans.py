@@ -1,0 +1,128 @@
+"""K-Means matchers: the "K-Means (SK)" and "K-Means (RL)" baselines.
+
+Both cluster the similarity vectors into two groups and call the cluster
+with the larger mean feature magnitude the match cluster:
+
+* **SK** — plain Lloyd's algorithm with k-means++ seeding, the
+  scikit-learn-style baseline. Known to fail when cluster sizes are very
+  uneven [paper §7.1], which is exactly ER's class imbalance.
+* **RL** — the recordlinkage-toolkit-style variant: per-cluster weights
+  down-weight the distance to the (small) match cluster so the imbalance
+  does not swallow it. ``match_weight > 1`` enlarges the match cluster's
+  basin of attraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["KMeansMatcher"]
+
+
+class KMeansMatcher:
+    """Two-cluster K-Means over similarity vectors.
+
+    Parameters
+    ----------
+    variant:
+        ``"sk"`` (unweighted) or ``"rl"`` (class-weighted assignment).
+    match_weight:
+        RL variant only: divide distances to the match centroid by this
+        factor (> 1 favors assigning points to the match cluster).
+    n_init:
+        Independent k-means++ restarts; best inertia wins.
+    """
+
+    def __init__(
+        self,
+        variant: str = "sk",
+        match_weight: float = 4.0,
+        n_init: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state=None,
+    ):
+        if variant not in ("sk", "rl"):
+            raise ValueError(f"variant must be 'sk' or 'rl', got {variant!r}")
+        if match_weight <= 0.0:
+            raise ValueError(f"match_weight must be positive, got {match_weight}")
+        self.variant = variant
+        self.match_weight = float(match_weight)
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.centroids_: np.ndarray | None = None
+        self.match_cluster_: int | None = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _seed(self, X: np.ndarray, rng) -> np.ndarray:
+        """k-means++ seeding for k = 2."""
+        n = X.shape[0]
+        first = X[int(rng.integers(n))]
+        d2 = np.sum((X - first) ** 2, axis=1)
+        total = float(d2.sum())
+        if total <= 0.0:
+            second = X[int(rng.integers(n))]
+        else:
+            second = X[int(rng.choice(n, p=d2 / total))]
+        return np.stack([first, second])
+
+    def _distances(self, X: np.ndarray, centroids: np.ndarray, match_cluster: int) -> np.ndarray:
+        d = np.stack([np.sum((X - c) ** 2, axis=1) for c in centroids], axis=1)
+        if self.variant == "rl":
+            d[:, match_cluster] /= self.match_weight
+        return d
+
+    def _lloyd(self, X: np.ndarray, rng) -> tuple[np.ndarray, np.ndarray, float]:
+        centroids = self._seed(X, rng)
+        match_cluster = int(np.argmax(np.linalg.norm(centroids, axis=1)))
+        assignment = np.zeros(X.shape[0], dtype=np.int64)
+        for _ in range(self.max_iter):
+            dist = self._distances(X, centroids, match_cluster)
+            assignment = np.argmin(dist, axis=1)
+            new_centroids = centroids.copy()
+            for k in range(2):
+                members = X[assignment == k]
+                if len(members):
+                    new_centroids[k] = members.mean(axis=0)
+            match_cluster = int(np.argmax(np.linalg.norm(new_centroids, axis=1)))
+            shift = float(np.max(np.abs(new_centroids - centroids)))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        inertia = float(
+            np.sum(np.min(self._distances(X, centroids, match_cluster), axis=1))
+        )
+        return centroids, assignment, inertia
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(self, X) -> "KMeansMatcher":
+        """Cluster the (unlabeled) similarity vectors."""
+        X = check_feature_matrix(X)
+        rng = ensure_rng(self.random_state)
+        best: tuple[np.ndarray, np.ndarray, float] | None = None
+        for _ in range(self.n_init):
+            result = self._lloyd(X, rng)
+            if best is None or result[2] < best[2]:
+                best = result
+        self.centroids_ = best[0]
+        # the match cluster is the one with larger centroid magnitude
+        self.match_cluster_ = int(np.argmax(np.linalg.norm(self.centroids_, axis=1)))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """0/1 labels: 1 for rows assigned to the match cluster."""
+        if self.centroids_ is None or self.match_cluster_ is None:
+            raise RuntimeError("KMeansMatcher must be fitted before predicting")
+        X = check_feature_matrix(X)
+        dist = self._distances(X, self.centroids_, self.match_cluster_)
+        return (np.argmin(dist, axis=1) == self.match_cluster_).astype(np.int64)
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).predict(X)

@@ -1,0 +1,169 @@
+"""Multi-layer perceptron trained with Adam.
+
+The paper's "MLP" baseline: two hidden layers of sizes 50 and 10 with an L2
+penalty tuned by cross-validation (§7.1). ReLU activations, sigmoid output,
+cross-entropy loss, mini-batch Adam with early stopping on the training
+loss plateau — all in plain numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    """Feed-forward binary classifier.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths (paper: ``(50, 10)``).
+    l2:
+        L2 penalty on all weight matrices.
+    learning_rate, batch_size, max_epochs:
+        Adam optimizer settings.
+    patience:
+        Early-stopping patience: stop after this many epochs without
+        relative improvement of the epoch loss.
+    """
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (50, 10),
+        l2: float = 1e-4,
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        max_epochs: int = 200,
+        patience: int = 10,
+        random_state=None,
+    ):
+        if not hidden or any(h < 1 for h in hidden):
+            raise ValueError(f"hidden must be non-empty positive widths, got {hidden}")
+        if l2 < 0.0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.hidden = tuple(int(h) for h in hidden)
+        self.l2 = float(l2)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.patience = int(patience)
+        self.random_state = random_state
+        self._weights: list[np.ndarray] | None = None
+        self._biases: list[np.ndarray] | None = None
+        self.loss_curve_: list[float] = []
+
+    # -- forward/backward ---------------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [X]
+        out = X
+        for W, b in zip(self._weights[:-1], self._biases[:-1]):
+            out = np.maximum(out @ W + b, 0.0)  # ReLU
+            activations.append(out)
+        logits = out @ self._weights[-1] + self._biases[-1]
+        return activations, logits.ravel()
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        expz = np.exp(z[~positive])
+        out[~positive] = expz / (1.0 + expz)
+        return out
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X = check_feature_matrix(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y has shape {y.shape}, expected ({X.shape[0]},)")
+        if not np.all(np.isin(y, (0.0, 1.0))):
+            raise ValueError("y must contain only 0/1 labels")
+        rng = ensure_rng(self.random_state)
+        n, d = X.shape
+        sizes = [d, *self.hidden, 1]
+        # He initialization for ReLU layers
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        self.loss_curve_ = []
+        best_loss, stale = np.inf, 0
+        for _epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb, yb = X[batch], y[batch]
+                activations, logits = self._forward(Xb)
+                probs = self._sigmoid(logits)
+                p_clip = np.clip(probs, 1e-12, 1.0 - 1e-12)
+                loss = -np.mean(yb * np.log(p_clip) + (1.0 - yb) * np.log1p(-p_clip))
+                loss += 0.5 * self.l2 * sum(float(np.sum(W * W)) for W in self._weights) / n
+                epoch_loss += loss * len(batch)
+
+                # backward
+                delta = ((probs - yb) / len(batch))[:, None]
+                grads_w: list[np.ndarray] = [None] * len(self._weights)
+                grads_b: list[np.ndarray] = [None] * len(self._biases)
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta + self.l2 * self._weights[layer] / n
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ self._weights[layer].T
+                        delta *= (activations[layer] > 0.0)  # ReLU gradient
+
+                # Adam update
+                step += 1
+                correction1 = 1.0 - beta1**step
+                correction2 = 1.0 - beta2**step
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._weights[layer] -= (
+                        self.learning_rate * (m_w[layer] / correction1)
+                        / (np.sqrt(v_w[layer] / correction2) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate * (m_b[layer] / correction1)
+                        / (np.sqrt(v_b[layer] / correction2) + eps)
+                    )
+            epoch_loss /= n
+            self.loss_curve_.append(float(epoch_loss))
+            if epoch_loss < best_loss * (1.0 - 1e-4):
+                best_loss, stale = epoch_loss, 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._weights is None:
+            raise RuntimeError("MLPClassifier must be fitted before predicting")
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y = 1 | x) for each row."""
+        self._check_fitted()
+        X = check_feature_matrix(X)
+        _, logits = self._forward(X)
+        return self._sigmoid(logits)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) > 0.5).astype(np.int64)

@@ -1,0 +1,115 @@
+"""Training protocol utilities for the supervised baselines.
+
+Implements the paper's §7.1 setup pieces: random train/test splitting,
+k-fold cross-validation for hyperparameter tuning, and oversampling of the
+match class ("the match entries in the training set are over-sampled as is
+typically done ... in the presence of class imbalance").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import f_score
+from repro.utils.rng import ensure_rng
+
+__all__ = ["train_test_split", "kfold_indices", "grid_search_cv", "oversample_minority"]
+
+
+def train_test_split(
+    n: int,
+    test_fraction: float = 0.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled index split; returns ``(train_idx, test_idx)``."""
+    if n < 2:
+        raise ValueError(f"need at least 2 rows to split, got {n}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = ensure_rng(random_state)
+    order = rng.permutation(n)
+    n_test = max(1, min(n - 1, int(round(n * test_fraction))))
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def kfold_indices(n: int, n_folds: int = 5, random_state=None) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold partition; returns ``[(train_idx, valid_idx), ...]``."""
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if n < n_folds:
+        raise ValueError(f"cannot make {n_folds} folds from {n} rows")
+    rng = ensure_rng(random_state)
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    out = []
+    for i in range(n_folds):
+        valid = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(n_folds) if j != i]))
+        out.append((train, valid))
+    return out
+
+
+def oversample_minority(
+    X: np.ndarray, y: np.ndarray, random_state=None, target_ratio: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resample the minority class (with replacement) up to
+    ``target_ratio × majority`` count. A no-op when already balanced or when
+    a class is absent.
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError(f"target_ratio must be in (0, 1], got {target_ratio}")
+    rng = ensure_rng(random_state)
+    y = np.asarray(y)
+    pos = np.nonzero(y == 1)[0]
+    neg = np.nonzero(y == 0)[0]
+    if len(pos) == 0 or len(neg) == 0:
+        return X, y
+    minority, majority = (pos, neg) if len(pos) < len(neg) else (neg, pos)
+    target = int(round(target_ratio * len(majority)))
+    if len(minority) >= target:
+        return X, y
+    extra = rng.choice(minority, size=target - len(minority), replace=True)
+    idx = np.concatenate([np.arange(len(y)), extra])
+    rng.shuffle(idx)
+    return X[idx], y[idx]
+
+
+def grid_search_cv(
+    make_model: Callable[..., object],
+    grid: dict[str, Sequence],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    random_state=None,
+) -> tuple[dict, float]:
+    """Exhaustive CV search over a small hyperparameter grid.
+
+    ``make_model(**params)`` must return an object with ``fit(X, y)`` and
+    ``predict(X)``. Scoring is F1 (the paper's metric). Returns the best
+    parameter dict and its mean CV score. Folds with a single training class
+    are skipped.
+    """
+    if not grid:
+        return {}, float("nan")
+    rng = ensure_rng(random_state)
+    keys = sorted(grid)
+    combos: list[dict] = [{}]
+    for key in keys:
+        combos = [dict(c, **{key: v}) for c in combos for v in grid[key]]
+    folds = kfold_indices(len(y), n_folds=min(n_folds, max(2, len(y) // 2)), random_state=rng)
+    best_params, best_score = combos[0], -1.0
+    for params in combos:
+        scores = []
+        for train_idx, valid_idx in folds:
+            y_train = y[train_idx]
+            if len(np.unique(y_train)) < 2:
+                continue
+            model = make_model(**params)
+            model.fit(X[train_idx], y_train)
+            scores.append(f_score(y[valid_idx], model.predict(X[valid_idx])))
+        mean = float(np.mean(scores)) if scores else -1.0
+        if mean > best_score:
+            best_params, best_score = params, mean
+    return best_params, best_score

@@ -1,0 +1,68 @@
+"""Attribute-equivalence blocking (hash join on one attribute)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+
+from repro.blocking.base import Blocker
+from repro.data.table import Table
+
+__all__ = ["AttributeEquivalenceBlocker"]
+
+
+class AttributeEquivalenceBlocker(Blocker):
+    """Pair records whose (optionally transformed) attribute values are equal.
+
+    Missing values never match anything — a ``None`` city should not put a
+    record in every block.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute to join on.
+    transform:
+        Optional value canonicalizer applied before comparison, e.g.
+        ``lambda v: str(v).lower()[:3]`` for a prefix block.
+    """
+
+    def __init__(self, attribute: str, transform: Callable | None = None):
+        self.attribute = attribute
+        self.transform = transform
+
+    def _key(self, record: dict):
+        value = record.get(self.attribute)
+        if value is None:
+            return None
+        return self.transform(value) if self.transform is not None else value
+
+    def block(self, left: Table, right: Table | None = None) -> list[tuple]:
+        if right is not None:
+            index: dict = defaultdict(list)
+            for rec in right:
+                key = self._key(rec)
+                if key is not None:
+                    index[key].append(rec[right.id_attr])
+            pairs = []
+            for rec in left:
+                key = self._key(rec)
+                if key is None:
+                    continue
+                lid = rec[left.id_attr]
+                pairs.extend((lid, rid) for rid in index.get(key, ()))
+            return pairs
+        # dedup mode: group rows by key, emit within-group pairs once
+        groups: dict = defaultdict(list)
+        for rec in left:
+            key = self._key(rec)
+            if key is not None:
+                groups[key].append(rec[left.id_attr])
+        pairs = []
+        for members in groups.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    pairs.append((members[i], members[j]))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeEquivalenceBlocker({self.attribute!r})"

@@ -1,0 +1,66 @@
+"""Blocker interface and candidate-set accounting."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.data.table import Table
+
+__all__ = ["Blocker", "candidate_recall", "candidate_statistics"]
+
+
+class Blocker:
+    """Base class for candidate-pair generators.
+
+    Subclasses implement :meth:`block`. Two calling modes:
+
+    * **record linkage** — ``block(left, right)`` returns cross-table pairs
+      ``(left_id, right_id)``;
+    * **deduplication** — ``block(table)`` returns within-table pairs with
+      the earlier row first, each unordered pair emitted once.
+
+    Pairs are returned as a list in deterministic order with no duplicates.
+    """
+
+    def block(self, left: Table, right: Table | None = None) -> list[tuple]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    @staticmethod
+    def _dedup_order(left: Table) -> dict:
+        """Map record id -> row position, for canonical within-table pair order."""
+        return {rid: pos for pos, rid in enumerate(left.ids())}
+
+
+def candidate_recall(candidates: Iterable[tuple], gold_matches: Iterable[tuple]) -> float:
+    """Fraction of gold matches retained by blocking (recall of Cs).
+
+    Returns 1.0 for an empty gold set (nothing to lose).
+    """
+    gold = set(tuple(p) for p in gold_matches)
+    if not gold:
+        return 1.0
+    cand = set(tuple(p) for p in candidates)
+    return len(gold & cand) / len(gold)
+
+
+def candidate_statistics(
+    candidates: Sequence[tuple],
+    gold_matches: Iterable[tuple],
+    n_left: int,
+    n_right: int,
+) -> dict:
+    """Candidate-set quality summary: size, reduction ratio, recall, imbalance."""
+    gold = set(tuple(p) for p in gold_matches)
+    cand = set(tuple(p) for p in candidates)
+    retained_matches = len(gold & cand)
+    total = n_left * n_right
+    return {
+        "n_candidates": len(cand),
+        "reduction_ratio": 1.0 - (len(cand) / total if total else 0.0),
+        "recall": (retained_matches / len(gold)) if gold else 1.0,
+        "retained_matches": retained_matches,
+        "match_fraction": (retained_matches / len(cand)) if cand else 0.0,
+    }

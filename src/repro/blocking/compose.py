@@ -1,0 +1,39 @@
+"""Blocker composition."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.blocking.base import Blocker
+from repro.data.table import Table
+
+__all__ = ["UnionBlocker"]
+
+
+class UnionBlocker(Blocker):
+    """Union of several blockers' candidate sets (duplicates removed).
+
+    Order is deterministic: pairs appear in the order first produced by the
+    member blockers.
+    """
+
+    def __init__(self, blockers: Sequence[Blocker]):
+        if not blockers:
+            raise ValueError("UnionBlocker needs at least one member blocker")
+        for b in blockers:
+            if not isinstance(b, Blocker):
+                raise TypeError(f"expected Blocker, got {type(b).__name__}")
+        self.blockers = list(blockers)
+
+    def block(self, left: Table, right: Table | None = None) -> list[tuple]:
+        seen: set[tuple] = set()
+        pairs: list[tuple] = []
+        for blocker in self.blockers:
+            for pair in blocker.block(left, right):
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnionBlocker({self.blockers!r})"

@@ -1,0 +1,108 @@
+"""Token-overlap blocking with DF pruning and per-record top-k capping.
+
+The workhorse blocker for the generated benchmarks: index the right table's
+tokens, count shared tokens per left record, keep pairs above a minimum
+overlap. Two standard scalability controls are built in:
+
+* **document-frequency pruning** — tokens occurring in more than a fraction
+  of right records carry no blocking signal (stop words, boilerplate) and
+  are skipped;
+* **top-k capping** — keep at most ``top_k`` right candidates per left
+  record, ranked by overlap count, which bounds |Cs| ≤ |T| · k.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.blocking.base import Blocker
+from repro.data.table import Table
+from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
+
+__all__ = ["TokenOverlapBlocker"]
+
+
+class TokenOverlapBlocker(Blocker):
+    """Pair records sharing at least ``min_overlap`` tokens on ``attribute``.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute whose tokens are indexed.
+    tokenizer:
+        Tokenizer applied to both sides (default whitespace words).
+    min_overlap:
+        Minimum number of distinct shared tokens.
+    max_df:
+        Tokens appearing in more than this fraction of right-side records
+        are ignored (default 0.2).
+    top_k:
+        If set, keep only the ``top_k`` highest-overlap right candidates per
+        left record (ties broken by right row order for determinism).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        tokenizer: Tokenizer | None = None,
+        min_overlap: int = 1,
+        max_df: float = 0.2,
+        top_k: int | None = None,
+    ):
+        if min_overlap < 1:
+            raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
+        if not 0.0 < max_df <= 1.0:
+            raise ValueError(f"max_df must be in (0, 1], got {max_df}")
+        if top_k is not None and top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.attribute = attribute
+        self.tokenizer = tokenizer if tokenizer is not None else WhitespaceTokenizer()
+        self.min_overlap = int(min_overlap)
+        self.max_df = float(max_df)
+        self.top_k = top_k
+
+    def _tokens(self, record: dict) -> set[str]:
+        return set(self.tokenizer(record.get(self.attribute)))
+
+    def block(self, left: Table, right: Table | None = None) -> list[tuple]:
+        dedup = right is None
+        target = left if dedup else right
+        # Inverted index over the target side, with DF pruning.
+        postings: dict[str, list] = defaultdict(list)
+        target_positions = {rid: pos for pos, rid in enumerate(target.ids())}
+        for rec in target:
+            rid = rec[target.id_attr]
+            for tok in self._tokens(rec):
+                postings[tok].append(rid)
+        df_cap = max(1, int(self.max_df * len(target)))
+        postings = {tok: ids for tok, ids in postings.items() if len(ids) <= df_cap}
+
+        pairs: list[tuple] = []
+        for probe_pos, rec in enumerate(left):
+            lid = rec[left.id_attr]
+            overlap: Counter = Counter()
+            for tok in self._tokens(rec):
+                for rid in postings.get(tok, ()):
+                    overlap[rid] += 1
+            if dedup:
+                # only pair with later rows, so each unordered pair appears once
+                candidates = [
+                    (rid, count)
+                    for rid, count in overlap.items()
+                    if count >= self.min_overlap and target_positions[rid] > probe_pos
+                ]
+            else:
+                candidates = [
+                    (rid, count) for rid, count in overlap.items() if count >= self.min_overlap
+                ]
+            candidates.sort(key=lambda item: (-item[1], target_positions[item[0]]))
+            if self.top_k is not None:
+                candidates = candidates[: self.top_k]
+            pairs.extend((lid, rid) for rid, _count in candidates)
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TokenOverlapBlocker({self.attribute!r}, min_overlap={self.min_overlap}, "
+            f"top_k={self.top_k})"
+        )

@@ -1,0 +1,37 @@
+"""Q-gram blocking: token overlap over character q-grams.
+
+Robust to typos (a single edit disturbs at most ``q`` q-grams), at the cost
+of larger postings. Implemented as a thin specialization of
+:class:`~repro.blocking.overlap.TokenOverlapBlocker`.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.overlap import TokenOverlapBlocker
+from repro.text.tokenizers import QgramTokenizer
+
+__all__ = ["QgramBlocker"]
+
+
+class QgramBlocker(TokenOverlapBlocker):
+    """Pair records sharing at least ``min_overlap`` character q-grams."""
+
+    def __init__(
+        self,
+        attribute: str,
+        q: int = 3,
+        min_overlap: int = 2,
+        max_df: float = 0.2,
+        top_k: int | None = None,
+    ):
+        super().__init__(
+            attribute,
+            tokenizer=QgramTokenizer(q=q, padded=False),
+            min_overlap=min_overlap,
+            max_df=max_df,
+            top_k=top_k,
+        )
+        self.q = q
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QgramBlocker({self.attribute!r}, q={self.q}, min_overlap={self.min_overlap})"

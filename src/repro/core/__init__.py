@@ -1,0 +1,26 @@
+"""ZeroER core: the paper's generative model.
+
+Public entry points:
+
+* :class:`~repro.core.model.ZeroER` — single-model matcher (deduplication,
+  or record linkage without the transitivity coupling);
+* :class:`~repro.core.linkage.ZeroERLinkage` — the three-model record-linkage
+  trainer of §5 (cross model F plus within-table models Fl, Fr);
+* :class:`~repro.core.config.ZeroERConfig` — all hyperparameters and the
+  ablation switches of Table 4.
+"""
+
+from repro.core.config import ZeroERConfig, ablation_variants
+from repro.core.exceptions import EMFailureError, InitializationError, ZeroERError
+from repro.core.model import ZeroER
+from repro.core.linkage import ZeroERLinkage
+
+__all__ = [
+    "ZeroER",
+    "ZeroERLinkage",
+    "ZeroERConfig",
+    "ablation_variants",
+    "ZeroERError",
+    "InitializationError",
+    "EMFailureError",
+]

@@ -1,0 +1,203 @@
+"""The EM engine (paper §2.2, §6, Algorithm 1).
+
+:class:`EMRunner` owns one mixture (prior + M/U block Gaussians) and one
+posterior vector over a fixed feature matrix, and exposes separate
+:meth:`m_step` / :meth:`e_step` methods. Keeping the steps separate is what
+lets the record-linkage trainer interleave three runners exactly as §5
+prescribes (``F.M, F.E, calibrate, Fl.M, Fl.E, Fr.M, Fr.E``), with the
+transitivity calibrator mutating posteriors between steps.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ZeroERConfig
+from repro.core.covariance import (
+    pooled_correlation_blocks,
+    rescale_to_correlation,
+    weighted_covariance,
+    weighted_mean,
+)
+from repro.core.gaussian import BlockDiagonalGaussian
+from repro.core.initialization import magnitude_initialization
+from repro.core.regularization import apply_regularization, penalty_diagonal
+from repro.utils.validation import check_feature_groups, check_feature_matrix
+
+__all__ = ["MixtureParameters", "EMHistory", "EMRunner"]
+
+
+@dataclass
+class MixtureParameters:
+    """The learned generative model: prior π_M and the two distributions."""
+
+    prior_match: float
+    match: BlockDiagonalGaussian
+    unmatch: BlockDiagonalGaussian
+
+
+@dataclass
+class EMHistory:
+    """Per-fit diagnostics used by tests and the scalability benchmark."""
+
+    log_likelihoods: list[float] = field(default_factory=list)
+    iteration_seconds: list[float] = field(default_factory=list)
+    transitivity_adjustments: list[int] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.log_likelihoods)
+
+
+class EMRunner:
+    """EM over one candidate pair set.
+
+    Parameters
+    ----------
+    X:
+        Normalized, imputed feature matrix (``n_pairs × d``).
+    feature_groups:
+        Per-attribute feature index lists. The effective block structure
+        follows ``config.covariance``: ``grouped`` uses these groups,
+        ``independent`` one block per feature, ``full`` a single block.
+    config:
+        Hyperparameters; see :class:`~repro.core.config.ZeroERConfig`.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        feature_groups: list[list[int]] | None,
+        config: ZeroERConfig,
+        name: str = "model",
+    ):
+        self.X = check_feature_matrix(X)
+        self.config = config
+        self.name = name
+        d = self.X.shape[1]
+        declared = check_feature_groups(feature_groups, d)
+        if config.covariance == "full":
+            self.groups = [list(range(d))]
+        elif config.covariance == "independent":
+            self.groups = [[j] for j in range(d)]
+        else:
+            self.groups = declared
+        self.gamma = magnitude_initialization(self.X, config.init_threshold)
+        self.params: MixtureParameters | None = None
+        self.history = EMHistory()
+        # The shared correlation R (§4) depends only on the data, not on the
+        # posteriors — estimate it once.
+        self._shared_correlation = (
+            pooled_correlation_blocks(self.X, self.groups)
+            if config.shared_correlation
+            else None
+        )
+
+    # -- M-step -----------------------------------------------------------------
+
+    def m_step(self) -> MixtureParameters:
+        """Re-estimate π, μ_C, Σ_C from the current posteriors (Eq. 8/11/13/15).
+
+        If one component's effective mass has collapsed below
+        ``config.min_component_mass``, its previous parameters are kept (a
+        numerical guard; the prior keeps shrinking so EM still converges).
+        """
+        cfg = self.config
+        n = self.X.shape[0]
+        weights = {"M": self.gamma, "U": 1.0 - self.gamma}
+        masses = {c: float(w.sum()) for c, w in weights.items()}
+
+        means: dict[str, np.ndarray] = {}
+        for c, w in weights.items():
+            if masses[c] < cfg.min_component_mass and self.params is not None:
+                previous = self.params.match if c == "M" else self.params.unmatch
+                means[c] = previous.mean
+            else:
+                means[c] = weighted_mean(self.X, np.maximum(w, 0.0) + 1e-300)
+
+        penalty = penalty_diagonal(cfg, means["M"], means["U"])
+
+        distributions: dict[str, BlockDiagonalGaussian] = {}
+        for c, w in weights.items():
+            if masses[c] < cfg.min_component_mass and self.params is not None:
+                distributions[c] = self.params.match if c == "M" else self.params.unmatch
+                continue
+            blocks = []
+            for g, idx in enumerate(self.groups):
+                sub = self.X[:, idx]
+                cov = weighted_covariance(sub, w, means[c][idx])
+                if self._shared_correlation is not None:
+                    cov = rescale_to_correlation(cov, self._shared_correlation[g])
+                blocks.append(apply_regularization(cov, penalty, idx))
+            distributions[c] = BlockDiagonalGaussian(means[c], self.groups, blocks)
+
+        prior = float(np.clip(masses["M"] / n, cfg.prior_floor, 1.0 - cfg.prior_floor))
+        self.params = MixtureParameters(prior, distributions["M"], distributions["U"])
+        return self.params
+
+    # -- E-step -----------------------------------------------------------------
+
+    def e_step(self) -> float:
+        """Update posteriors from the current parameters (Equation 3).
+
+        Returns the observed-data log likelihood normalized per pair, which
+        is the convergence criterion quantity of §6.
+        """
+        if self.params is None:
+            raise RuntimeError("m_step must run before e_step")
+        log_m = np.log(self.params.prior_match) + self.params.match.logpdf(self.X)
+        log_u = np.log1p(-self.params.prior_match) + self.params.unmatch.logpdf(self.X)
+        log_total = np.logaddexp(log_m, log_u)
+        gamma = np.exp(log_m - log_total)
+        # flush vanishing posteriors to exact zero: subnormal floats in the
+        # M-step's weighted sums hit the CPU's slow denormal path (an
+        # order-of-magnitude per-iteration slowdown on large candidate sets)
+        gamma[gamma < 1e-30] = 0.0
+        gamma[gamma > 1.0 - 1e-15] = 1.0
+        self.gamma = gamma
+        return float(np.mean(log_total))
+
+    # -- full loop (single-model case) ------------------------------------------
+
+    def run(self, calibrator=None) -> EMHistory:
+        """Algorithm 1: iterate M/E (with optional transitivity calibration).
+
+        On hitting ``max_iter`` without likelihood convergence the posterior
+        is replaced by the average of the last ``tail_window`` iterations'
+        posteriors (§6's tail averaging).
+        """
+        cfg = self.config
+        tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
+        previous_ll: float | None = None
+        for iteration in range(cfg.max_iter):
+            started = time.perf_counter()
+            self.m_step()
+            ll = self.e_step()
+            if calibrator is not None and iteration >= cfg.transitivity_warmup:
+                self.history.transitivity_adjustments.append(calibrator.calibrate(self.gamma))
+            tail.append(self.gamma.copy())
+            self.history.iteration_seconds.append(time.perf_counter() - started)
+            self.history.log_likelihoods.append(ll)
+            if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                self.history.converged = True
+                break
+            previous_ll = ll
+        if not self.history.converged and len(tail) > 1:
+            self.gamma = np.mean(np.stack(tail), axis=0)
+        return self.history
+
+    # -- inference on new data ----------------------------------------------------
+
+    def posterior(self, X: np.ndarray) -> np.ndarray:
+        """Posterior match probabilities for new (already normalized) rows."""
+        if self.params is None:
+            raise RuntimeError("model has no parameters; fit first")
+        X = check_feature_matrix(X)
+        log_m = np.log(self.params.prior_match) + self.params.match.logpdf(X)
+        log_u = np.log1p(-self.params.prior_match) + self.params.unmatch.logpdf(X)
+        return np.exp(log_m - np.logaddexp(log_m, log_u))

@@ -1,0 +1,20 @@
+"""Exception hierarchy for the ZeroER core."""
+
+__all__ = ["ZeroERError", "InitializationError", "EMFailureError"]
+
+
+class ZeroERError(Exception):
+    """Base class for all ZeroER-specific failures."""
+
+
+class InitializationError(ZeroERError):
+    """EM could not start: the initial assignment left a component empty.
+
+    The paper observes this at initialization thresholds ε = 0 or ε = 1
+    (§7.4): with no pairs assigned to one component, its parameters cannot
+    be estimated and EM fails to run.
+    """
+
+
+class EMFailureError(ZeroERError):
+    """EM could not continue (e.g. a component's effective mass collapsed)."""

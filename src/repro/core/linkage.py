@@ -1,0 +1,181 @@
+"""Three-model record-linkage training (paper §5, "DeDuplication v.s. Record
+Linkage").
+
+When matching two different tables T ≠ T', the transitivity triangles close
+through *within-table* pairs: if one left record matches two right records,
+those two right records must be duplicates of each other. So three
+generative models are trained together:
+
+* ``F``  — cross-table pairs (the matches we actually want),
+* ``Fl`` — pairs within the left table,
+* ``Fr`` — pairs within the right table,
+
+with the per-iteration interleaving prescribed by the paper: F's E-step
+(followed by transitivity calibration, which may modify Fl/Fr posteriors)
+runs before Fl/Fr's M-steps, so the within-table models absorb the
+calibrated posteriors before their own E-steps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import ZeroERConfig
+from repro.core.em import EMHistory, EMRunner
+from repro.core.exceptions import InitializationError
+from repro.core.transitivity import LinkageTransitivityCalibrator
+from repro.features.normalize import MinMaxNormalizer, impute_nan
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["ZeroERLinkage"]
+
+
+def _prepare(X) -> np.ndarray:
+    X = check_feature_matrix(X, allow_nan=True)
+    scaled = MinMaxNormalizer().fit_transform(X)
+    return impute_nan(scaled)
+
+
+class ZeroERLinkage:
+    """ZeroER for two tables with the F/Fl/Fr transitivity coupling.
+
+    Parameters
+    ----------
+    config:
+        Shared hyperparameters for all three models; defaults to the paper's
+        final configuration.
+
+    Notes
+    -----
+    The within-table models are optional: when a table has no within-table
+    candidate pairs (e.g. it is known to be duplicate-free), pass ``None``
+    and the calibrator treats its closing pairs as γ = 0 — which *is* the
+    correct semantics: a clean table means two right records matching the
+    same left record is a violation, and the weaker cross edge gets demoted.
+    """
+
+    def __init__(self, config: ZeroERConfig | None = None, **overrides):
+        base = config if config is not None else ZeroERConfig()
+        self.config = base.replace(**overrides) if overrides else base
+        self._cross: EMRunner | None = None
+        self._left: EMRunner | None = None
+        self._right: EMRunner | None = None
+
+    def fit(
+        self,
+        X_cross,
+        cross_pairs: Sequence[tuple],
+        feature_groups: Sequence[Sequence[int]] | None = None,
+        X_left=None,
+        left_pairs: Sequence[tuple] | None = None,
+        X_right=None,
+        right_pairs: Sequence[tuple] | None = None,
+    ) -> "ZeroERLinkage":
+        """Train F (and Fl/Fr when within-table pair sets are provided).
+
+        All three feature matrices must come from the same feature generator
+        so that ``feature_groups`` applies to each.
+        """
+        if len(cross_pairs) != np.asarray(X_cross).shape[0]:
+            raise ValueError("cross_pairs must align with X_cross rows")
+        groups = None if feature_groups is None else [list(g) for g in feature_groups]
+        cfg = self.config
+        self._cross = EMRunner(_prepare(X_cross), groups, cfg, name="F")
+        self._left = self._optional_runner(X_left, left_pairs, groups, "Fl")
+        self._right = self._optional_runner(X_right, right_pairs, groups, "Fr")
+
+        calibrator = None
+        if cfg.transitivity:
+            calibrator = LinkageTransitivityCalibrator(
+                cross_pairs,
+                left_pairs or (),
+                right_pairs or (),
+                max_degree=cfg.transitivity_max_degree,
+            )
+
+        if cfg.linkage_mode == "staged":
+            # Train the within-table models to convergence first; their
+            # posteriors are then fixed inputs to F's calibration (writes from
+            # the calibrator persist, preventing raise-then-overwrite cycles).
+            for side in (self._left, self._right):
+                if side is not None:
+                    side.run()
+
+        tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
+        previous_ll: float | None = None
+        history = self._cross.history
+        joint = cfg.linkage_mode == "joint"
+        for iteration in range(cfg.max_iter):
+            self._cross.m_step()
+            ll = self._cross.e_step()
+            if calibrator is not None and iteration >= cfg.transitivity_warmup:
+                adjusted = calibrator.calibrate(
+                    self._cross.gamma,
+                    self._left.gamma if self._left is not None else None,
+                    self._right.gamma if self._right is not None else None,
+                )
+                history.transitivity_adjustments.append(adjusted)
+            if joint:
+                # the paper's interleaving: within models absorb the
+                # calibrated posteriors before their own E-steps
+                for side in (self._left, self._right):
+                    if side is not None:
+                        side.m_step()
+                        side.e_step()
+            tail.append(self._cross.gamma.copy())
+            history.log_likelihoods.append(ll)
+            if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                history.converged = True
+                break
+            previous_ll = ll
+        if not history.converged and len(tail) > 1:
+            self._cross.gamma = np.mean(np.stack(tail), axis=0)
+        return self
+
+    def _optional_runner(self, X, pairs, groups, name) -> EMRunner | None:
+        if X is None:
+            return None
+        X = check_feature_matrix(X, allow_nan=True)
+        if pairs is None or len(pairs) != X.shape[0]:
+            raise ValueError(f"{name}: pairs must align with its feature matrix")
+        within_config = self.config.replace(init_threshold=self.config.within_init_threshold)
+        try:
+            return EMRunner(_prepare(X), groups, within_config, name=name)
+        except InitializationError:
+            # A within-table candidate set can legitimately be all-unmatch
+            # (a clean table); §5's semantics then reduce to γ = 0 closures.
+            return None
+
+    # -- fitted state -------------------------------------------------------------
+
+    def _check_fitted(self) -> EMRunner:
+        if self._cross is None:
+            raise RuntimeError("ZeroERLinkage must be fitted before this operation")
+        return self._cross
+
+    @property
+    def match_scores_(self) -> np.ndarray:
+        """Posterior match probabilities for the cross-table pairs."""
+        return self._check_fitted().gamma
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """0/1 labels for the cross-table pairs."""
+        return (self._check_fitted().gamma > 0.5).astype(np.int64)
+
+    @property
+    def history_(self) -> EMHistory:
+        return self._check_fitted().history
+
+    @property
+    def left_scores_(self) -> np.ndarray | None:
+        """Posteriors of the left within-table model, if trained."""
+        return self._left.gamma if self._left is not None else None
+
+    @property
+    def right_scores_(self) -> np.ndarray | None:
+        """Posteriors of the right within-table model, if trained."""
+        return self._right.gamma if self._right is not None else None

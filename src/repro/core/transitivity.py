@@ -1,0 +1,202 @@
+"""Transitivity as a soft constraint on posteriors (paper §5).
+
+For any record triangle, ``γ12 · γ13 ≤ γ23`` must hold (Equation 16): if
+(t1,t2) and (t1,t3) are matches, (t2,t3) must be one. After every E-step the
+calibrator enumerates two-paths among high-confidence pairs (γ > 0.5),
+checks the inequality against the closing pair — with γ = 0 for pairs that
+blocking removed — and repairs violations by adjusting whichever of the
+three posteriors is closest to 0.5, i.e. the least confident one
+(Equation 17).
+
+Two concrete calibrators:
+
+* :class:`DedupTransitivityCalibrator` — one posterior store (T = T');
+* :class:`LinkageTransitivityCalibrator` — cross pairs close through
+  within-table pairs, so repairs may touch the left/right models' posterior
+  stores (the F / Fl / Fr coupling of §5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "DedupTransitivityCalibrator",
+    "LinkageTransitivityCalibrator",
+]
+
+_EPS = 1e-12
+
+
+def _canonical(a, b) -> tuple:
+    """Order-insensitive key for a within-table pair."""
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+def _repair(gamma_stores: list[np.ndarray], refs: list[tuple[int, int]], values: list[float]) -> bool:
+    """Repair one violated triangle; returns True if something changed.
+
+    ``refs[k] = (store_index, position)`` locates each posterior;
+    ``refs[2]`` may be ``None`` when the closing pair was removed by
+    blocking (its γ is an immovable 0, and its confidence |0 − 0.5| is
+    maximal so it is never selected for adjustment).
+    """
+    v12, v13, v23 = values
+    candidates = [(abs(v12 - 0.5), 0), (abs(v13 - 0.5), 1)]
+    if refs[2] is not None:
+        candidates.append((abs(v23 - 0.5), 2))
+    _, target = min(candidates)
+    if target == 0:
+        new_value = v23 / v13 if v13 > 0.0 else 0.0
+    elif target == 1:
+        new_value = v23 / v12 if v12 > 0.0 else 0.0
+    else:
+        new_value = v12 * v13
+    store_idx, pos = refs[target]
+    gamma_stores[store_idx][pos] = float(np.clip(new_value, 0.0, 1.0))
+    return True
+
+
+class DedupTransitivityCalibrator:
+    """Triangle calibration for a single table's pair set.
+
+    Parameters
+    ----------
+    pairs:
+        The candidate pairs, aligned with the posterior vector passed to
+        :meth:`calibrate`.
+    max_degree:
+        Per-node cap on high-confidence edges considered (highest-γ first);
+        bounds the two-path enumeration, implementing §5's "check only
+        likely matches" efficiency argument.
+    """
+
+    def __init__(self, pairs: Sequence[tuple], max_degree: int = 30):
+        if max_degree < 2:
+            raise ValueError(f"max_degree must be >= 2, got {max_degree}")
+        self.pairs = [tuple(p) for p in pairs]
+        self.max_degree = max_degree
+        self._index: dict[tuple, int] = {}
+        for i, (a, b) in enumerate(self.pairs):
+            self._index[_canonical(a, b)] = i
+
+    def calibrate(self, gamma: np.ndarray) -> int:
+        """Repair violations in-place; returns the number of adjustments."""
+        stores = [gamma]
+        high = np.nonzero(gamma > 0.5)[0]
+        adjacency: dict = defaultdict(list)
+        for i in high:
+            a, b = self.pairs[int(i)]
+            adjacency[a].append((b, int(i)))
+            adjacency[b].append((a, int(i)))
+        n_adjust = 0
+        for _node, edges in sorted(adjacency.items(), key=lambda kv: repr(kv[0])):
+            if len(edges) < 2:
+                continue
+            edges = sorted(edges, key=lambda e: -gamma[e[1]])[: self.max_degree]
+            for i in range(len(edges)):
+                t2, i12 = edges[i]
+                for j in range(i + 1, len(edges)):
+                    t3, i13 = edges[j]
+                    v12, v13 = float(gamma[i12]), float(gamma[i13])
+                    if v12 <= 0.5 or v13 <= 0.5:
+                        continue  # an earlier repair demoted this edge
+                    closing = self._index.get(_canonical(t2, t3))
+                    v23 = float(gamma[closing]) if closing is not None else 0.0
+                    if v12 * v13 <= v23 + _EPS:
+                        continue
+                    refs = [
+                        (0, i12),
+                        (0, i13),
+                        (0, closing) if closing is not None else None,
+                    ]
+                    _repair(stores, refs, [v12, v13, v23])
+                    n_adjust += 1
+        return n_adjust
+
+
+class LinkageTransitivityCalibrator:
+    """Triangle calibration across the F / Fl / Fr models (record linkage).
+
+    Cross pairs ``(l, r2)`` and ``(l, r3)`` sharing a left record close
+    through the right-table pair ``(r2, r3)`` scored by Fr, and symmetrically
+    for shared right records through Fl. A repair may therefore adjust a
+    cross posterior or a within-table posterior, whichever is least
+    confident.
+    """
+
+    def __init__(
+        self,
+        cross_pairs: Sequence[tuple],
+        left_pairs: Sequence[tuple] = (),
+        right_pairs: Sequence[tuple] = (),
+        max_degree: int = 30,
+    ):
+        if max_degree < 2:
+            raise ValueError(f"max_degree must be >= 2, got {max_degree}")
+        self.cross_pairs = [tuple(p) for p in cross_pairs]
+        self.max_degree = max_degree
+        self._left_index = {_canonical(a, b): i for i, (a, b) in enumerate(left_pairs)}
+        self._right_index = {_canonical(a, b): i for i, (a, b) in enumerate(right_pairs)}
+
+    def calibrate(
+        self,
+        gamma_cross: np.ndarray,
+        gamma_left: np.ndarray | None = None,
+        gamma_right: np.ndarray | None = None,
+    ) -> int:
+        """Repair violations in all three stores in-place; returns #adjustments."""
+        stores = [
+            gamma_cross,
+            gamma_left if gamma_left is not None else np.zeros(0),
+            gamma_right if gamma_right is not None else np.zeros(0),
+        ]
+        high = np.nonzero(gamma_cross > 0.5)[0]
+        by_left: dict = defaultdict(list)
+        by_right: dict = defaultdict(list)
+        for i in high:
+            l, r = self.cross_pairs[int(i)]
+            by_left[l].append((r, int(i)))
+            by_right[r].append((l, int(i)))
+        n_adjust = 0
+        n_adjust += self._calibrate_side(stores, by_left, self._right_index, 2)
+        n_adjust += self._calibrate_side(stores, by_right, self._left_index, 1)
+        return n_adjust
+
+    def _calibrate_side(
+        self,
+        stores: list[np.ndarray],
+        adjacency: dict,
+        closing_index: dict,
+        closing_store: int,
+    ) -> int:
+        gamma_cross = stores[0]
+        closing_gamma = stores[closing_store]
+        n_adjust = 0
+        for _node, edges in sorted(adjacency.items(), key=lambda kv: repr(kv[0])):
+            if len(edges) < 2:
+                continue
+            edges = sorted(edges, key=lambda e: -gamma_cross[e[1]])[: self.max_degree]
+            for i in range(len(edges)):
+                t2, i12 = edges[i]
+                for j in range(i + 1, len(edges)):
+                    t3, i13 = edges[j]
+                    v12, v13 = float(gamma_cross[i12]), float(gamma_cross[i13])
+                    if v12 <= 0.5 or v13 <= 0.5:
+                        continue
+                    closing = closing_index.get(_canonical(t2, t3))
+                    has_closing = closing is not None and closing_gamma.shape[0] > 0
+                    v23 = float(closing_gamma[closing]) if has_closing else 0.0
+                    if v12 * v13 <= v23 + _EPS:
+                        continue
+                    refs = [
+                        (0, i12),
+                        (0, i13),
+                        (closing_store, closing) if has_closing else None,
+                    ]
+                    _repair(stores, refs, [v12, v13, v23])
+                    n_adjust += 1
+        return n_adjust

@@ -1,0 +1,57 @@
+"""CSV persistence for :class:`repro.data.table.Table`.
+
+Plain ``csv``-module round-tripping with light type recovery: integers and
+floats are restored on read, empty cells become ``None``. Enough to export
+generated benchmarks for inspection or to load externally prepared data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.table import Table
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row (id column first)."""
+    path = Path(path)
+    fieldnames = [table.id_attr] + list(table.attributes)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for rec in table:
+            writer.writerow({k: ("" if rec[k] is None else rec[k]) for k in fieldnames})
+
+
+def _recover_value(text: str):
+    """Best-effort type recovery for one CSV cell."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(path: str | Path, id_attr: str = "id") -> Table:
+    """Read a CSV written by :func:`write_csv` back into a ``Table``."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} is empty")
+        if id_attr not in reader.fieldnames:
+            raise ValueError(f"{path} has no {id_attr!r} column; found {reader.fieldnames}")
+        attributes = [name for name in reader.fieldnames if name != id_attr]
+        records = []
+        for row in reader:
+            records.append({key: _recover_value(val) for key, val in row.items()})
+    return Table(records, attributes=attributes, id_attr=id_attr)

@@ -1,0 +1,151 @@
+"""A minimal typed record container.
+
+pandas is deliberately not a dependency; entity resolution needs only
+row-oriented access, projection, selection, and a stable per-row identifier.
+``Table`` provides exactly that with list-of-dict storage and an attribute
+manifest, and is the unit every blocker / feature generator in this library
+consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Table"]
+
+Value = str | int | float | None
+
+
+class Table:
+    """An ordered collection of records sharing an attribute set.
+
+    Parameters
+    ----------
+    records:
+        Iterable of dicts. Every record must contain ``id_attr``; other
+        attributes default to ``None`` when absent.
+    attributes:
+        Explicit attribute order (excluding ``id_attr``). Inferred from the
+        first record when omitted.
+    id_attr:
+        Name of the unique identifier attribute (default ``"id"``).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[dict],
+        attributes: Sequence[str] | None = None,
+        id_attr: str = "id",
+    ):
+        self.id_attr = id_attr
+        self._records: list[dict] = []
+        inferred: list[str] | None = list(attributes) if attributes is not None else None
+        seen_ids: set = set()
+        for rec in records:
+            if id_attr not in rec:
+                raise ValueError(f"record is missing the id attribute {id_attr!r}: {rec!r}")
+            rid = rec[id_attr]
+            if rid in seen_ids:
+                raise ValueError(f"duplicate record id {rid!r}")
+            seen_ids.add(rid)
+            if inferred is None:
+                inferred = [k for k in rec.keys() if k != id_attr]
+            row = {id_attr: rid}
+            for attr in inferred:
+                row[attr] = rec.get(attr)
+            self._records.append(row)
+        self.attributes: list[str] = inferred if inferred is not None else []
+        self._by_id: dict = {rec[id_attr]: rec for rec in self._records}
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> dict:
+        return self._records[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(n_rows={len(self)}, attributes={self.attributes})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.id_attr == other.id_attr
+            and self.attributes == other.attributes
+            and self._records == other._records
+        )
+
+    # -- access --------------------------------------------------------------
+
+    def ids(self) -> list:
+        """Record identifiers in row order."""
+        return [rec[self.id_attr] for rec in self._records]
+
+    def get(self, record_id) -> dict:
+        """Record with the given identifier; raises ``KeyError`` if absent."""
+        return self._by_id[record_id]
+
+    def __contains__(self, record_id) -> bool:
+        return record_id in self._by_id
+
+    def column(self, attribute: str) -> list[Value]:
+        """All values of one attribute, in row order."""
+        if attribute != self.id_attr and attribute not in self.attributes:
+            raise KeyError(f"unknown attribute {attribute!r}")
+        return [rec[attribute] for rec in self._records]
+
+    # -- relational-style operations ------------------------------------------
+
+    def select(self, predicate: Callable[[dict], bool]) -> "Table":
+        """Rows satisfying ``predicate``, as a new table."""
+        return Table(
+            (rec for rec in self._records if predicate(rec)),
+            attributes=self.attributes,
+            id_attr=self.id_attr,
+        )
+
+    def project(self, attributes: Sequence[str]) -> "Table":
+        """A new table keeping only ``attributes`` (plus the id)."""
+        for attr in attributes:
+            if attr not in self.attributes:
+                raise KeyError(f"unknown attribute {attr!r}")
+        keep = list(attributes)
+        return Table(
+            ({self.id_attr: rec[self.id_attr], **{a: rec[a] for a in keep}} for rec in self._records),
+            attributes=keep,
+            id_attr=self.id_attr,
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows as a new table."""
+        return Table(self._records[: max(0, n)], attributes=self.attributes, id_attr=self.id_attr)
+
+    def sample(self, n: int, rng) -> "Table":
+        """``n`` rows drawn without replacement using numpy Generator ``rng``."""
+        if n > len(self):
+            raise ValueError(f"cannot sample {n} rows from a table of {len(self)}")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return Table(
+            (self._records[i] for i in sorted(int(i) for i in idx)),
+            attributes=self.attributes,
+            id_attr=self.id_attr,
+        )
+
+    def with_column(self, attribute: str, values: Sequence[Value]) -> "Table":
+        """A new table with an added (or replaced) attribute column."""
+        if len(values) != len(self):
+            raise ValueError(f"column has {len(values)} values for {len(self)} rows")
+        attrs = list(self.attributes)
+        if attribute not in attrs:
+            attrs.append(attribute)
+        rows = []
+        for rec, val in zip(self._records, values):
+            row = dict(rec)
+            row[attribute] = val
+            rows.append(row)
+        return Table(rows, attributes=attrs, id_attr=self.id_attr)

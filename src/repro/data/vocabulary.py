@@ -1,0 +1,230 @@
+"""Static vocabularies used by the benchmark generators.
+
+Four domains (restaurants, publications, movies, products) matching the
+paper's datasets. Pools are tuples so they are immutable and cheap to index
+with a seeded generator — the same seed always produces the same benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "STREET_NAMES",
+    "STREET_TYPES",
+    "CUISINES",
+    "RESTAURANT_WORDS",
+    "PAPER_TOPIC_WORDS",
+    "PAPER_METHOD_WORDS",
+    "PAPER_OBJECT_WORDS",
+    "VENUES",
+    "VENUE_ABBREVIATIONS",
+    "MOVIE_TITLE_WORDS",
+    "GENRES",
+    "BRANDS",
+    "PRODUCT_CATEGORIES",
+    "PRODUCT_ADJECTIVES",
+    "PRODUCT_FILLER_PHRASES",
+    "PRODUCT_SYNONYMS",
+    "sample",
+    "sample_words",
+]
+
+FIRST_NAMES = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda",
+    "william", "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica",
+    "thomas", "sarah", "charles", "karen", "wei", "li", "yuki", "hiroshi", "amit",
+    "priya", "carlos", "maria", "ahmed", "fatima", "olga", "ivan", "lars", "ingrid",
+    "pierre", "claire", "giulia", "marco", "sofia", "diego",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "chen", "wang", "zhang",
+    "kumar", "patel", "kim", "park", "nguyen", "tran", "mueller", "schmidt", "rossi",
+    "ferrari", "dubois", "laurent", "ivanov", "petrov", "sato", "tanaka",
+)
+
+CITIES = (
+    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia",
+    "san antonio", "san diego", "dallas", "san jose", "austin", "seattle", "denver",
+    "boston", "portland", "atlanta", "miami", "oakland", "minneapolis", "tucson",
+)
+
+STREET_NAMES = (
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill",
+    "park", "river", "spring", "church", "bridge", "market", "union", "center",
+    "broadway", "highland", "sunset", "lincoln", "jefferson", "madison", "franklin",
+)
+
+STREET_TYPES = ("st.", "ave.", "blvd.", "rd.", "ln.", "dr.", "way", "pl.")
+
+CUISINES = (
+    "american", "italian", "french", "chinese", "japanese", "mexican", "thai",
+    "indian", "mediterranean", "steakhouse", "seafood", "bbq", "cajun", "greek",
+    "korean", "vietnamese", "spanish", "fusion", "vegetarian", "continental",
+)
+
+RESTAURANT_WORDS = (
+    "golden", "silver", "royal", "grand", "little", "blue", "red", "green", "old",
+    "new", "corner", "garden", "house", "kitchen", "table", "grill", "bistro",
+    "cafe", "tavern", "palace", "dragon", "lotus", "olive", "vine", "harbor",
+    "lantern", "crown", "star", "moon", "sun", "brick", "copper", "iron", "stone",
+)
+
+PAPER_TOPIC_WORDS = (
+    "distributed", "parallel", "scalable", "efficient", "adaptive", "incremental",
+    "approximate", "probabilistic", "declarative", "interactive", "robust",
+    "streaming", "federated", "secure", "unsupervised", "automated", "optimal",
+    "dynamic", "hierarchical", "semantic", "transactional", "concurrent",
+    "fault-tolerant", "elastic", "privacy-preserving", "cost-based", "versioned",
+    "reactive", "columnar", "vectorized", "multidimensional", "temporal",
+    "spatial", "relational", "generative", "discriminative", "lightweight",
+    "self-tuning", "holistic", "progressive",
+)
+
+PAPER_METHOD_WORDS = (
+    "indexing", "clustering", "sampling", "hashing", "partitioning", "caching",
+    "learning", "mining", "matching", "ranking", "filtering", "compression",
+    "estimation", "optimization", "synthesis", "verification", "integration",
+    "summarization", "discovery", "resolution", "deduplication", "provenance",
+    "scheduling", "replication", "materialization", "rewriting", "profiling",
+    "cleaning", "imputation", "enumeration", "decomposition", "canonicalization",
+    "normalization", "federation", "extraction", "annotation", "versioning",
+    "benchmarking", "visualization", "exploration",
+)
+
+PAPER_OBJECT_WORDS = (
+    "queries", "transactions", "graphs", "streams", "tables", "schemas", "joins",
+    "views", "indexes", "workloads", "databases", "warehouses", "documents",
+    "records", "entities", "tuples", "logs", "caches", "clusters", "networks",
+    "partitions", "replicas", "snapshots", "cubes", "lattices", "embeddings",
+    "predicates", "constraints", "dependencies", "mappings", "ontologies",
+    "matrices", "tensors", "sketches", "histograms", "samples", "aggregates",
+    "sequences", "trajectories", "timeseries",
+)
+
+VENUES = (
+    "proceedings of the international conference on management of data",
+    "proceedings of the vldb endowment",
+    "international conference on data engineering",
+    "acm transactions on database systems",
+    "ieee transactions on knowledge and data engineering",
+    "international conference on very large data bases",
+    "acm symposium on principles of database systems",
+    "conference on information and knowledge management",
+    "international world wide web conference",
+    "knowledge discovery and data mining",
+)
+
+#: Short forms used by the Scholar-style corruption (index-aligned to VENUES).
+VENUE_ABBREVIATIONS = (
+    "sigmod", "pvldb", "icde", "tods", "tkde", "vldb", "pods", "cikm", "www", "kdd",
+)
+
+MOVIE_TITLE_WORDS = (
+    "midnight", "shadow", "return", "last", "first", "dark", "bright", "lost",
+    "hidden", "broken", "silent", "burning", "frozen", "golden", "crimson",
+    "endless", "fallen", "rising", "savage", "gentle", "city", "river", "mountain",
+    "ocean", "desert", "garden", "empire", "kingdom", "legacy", "promise", "secret",
+    "journey", "storm", "dawn", "twilight", "echo", "mirror", "crossing", "harvest",
+)
+
+GENRES = (
+    "drama", "comedy", "action", "thriller", "romance", "horror", "sci-fi",
+    "documentary", "animation", "western", "mystery", "crime", "fantasy",
+    "adventure", "musical", "war",
+)
+
+BRANDS = (
+    "sony", "samsung", "panasonic", "canon", "nikon", "bose", "jbl", "logitech",
+    "philips", "toshiba", "sharp", "epson", "brother", "lexmark", "sandisk",
+    "kingston", "netgear", "linksys", "garmin", "casio", "olympus", "pioneer",
+    "kenwood", "yamaha", "denon", "onkyo", "vizio", "haier", "whirlpool", "braun",
+)
+
+PRODUCT_CATEGORIES = (
+    "digital camera", "camcorder", "headphones", "speaker system", "lcd monitor",
+    "laser printer", "inkjet printer", "wireless router", "memory card",
+    "flash drive", "gps navigator", "dvd player", "blu-ray player", "microwave oven",
+    "coffee maker", "vacuum cleaner", "air purifier", "hard drive", "keyboard",
+    "webcam", "projector", "scanner", "mp3 player", "home theater system",
+)
+
+PRODUCT_ADJECTIVES = (
+    "black", "white", "silver", "compact", "portable", "professional", "wireless",
+    "digital", "premium", "ultra", "slim", "high-speed", "rechargeable", "hd",
+)
+
+#: Boilerplate sentences shared across product descriptions. Because these
+#: phrases appear in *different* products' descriptions, they inflate the
+#: token similarity of unmatched pairs — part of what makes the product
+#: datasets hard for similarity-based matchers (paper §7.2).
+PRODUCT_FILLER_PHRASES = (
+    "includes usb cable and quick start guide",
+    "energy star certified for low power consumption",
+    "one year limited manufacturer warranty included",
+    "sleek modern design fits any home or office",
+    "easy setup with plug and play installation",
+    "compatible with windows and mac operating systems",
+    "award winning customer support and service",
+    "ideal for home office or professional use",
+    "advanced technology delivers superior performance",
+    "best in class reliability and build quality",
+    "lightweight construction for maximum portability",
+    "crystal clear output with low distortion",
+)
+
+#: Vendor-side renamings: same concept, different surface form. Applied to
+#: one side of a matched product pair so that token overlap drops sharply —
+#: simulating the semantic gap that makes Abt-Buy / Amazon-Google hard.
+PRODUCT_SYNONYMS = {
+    "digital camera": "digicam",
+    "camcorder": "video camera recorder",
+    "headphones": "over-ear headset",
+    "speaker system": "audio speakers",
+    "lcd monitor": "flat panel display",
+    "laser printer": "monochrome page printer",
+    "inkjet printer": "photo printer",
+    "wireless router": "wifi gateway",
+    "memory card": "storage media",
+    "flash drive": "usb stick",
+    "gps navigator": "sat nav unit",
+    "dvd player": "disc player",
+    "blu-ray player": "bd deck",
+    "microwave oven": "countertop microwave",
+    "coffee maker": "drip brewer",
+    "vacuum cleaner": "floor vac",
+    "air purifier": "hepa air cleaner",
+    "hard drive": "hdd storage",
+    "keyboard": "typing board",
+    "webcam": "web camera",
+    "projector": "video beamer",
+    "scanner": "document imager",
+    "mp3 player": "portable audio player",
+    "home theater system": "surround sound bundle",
+    "black": "blk",
+    "white": "wht",
+    "silver": "slv",
+    "wireless": "cordless",
+    "portable": "travel-size",
+    "professional": "pro-grade",
+}
+
+
+def sample(rng: np.random.Generator, pool: tuple[str, ...]) -> str:
+    """One uniform draw from ``pool``."""
+    return pool[int(rng.integers(len(pool)))]
+
+
+def sample_words(rng: np.random.Generator, pool: tuple[str, ...], k: int) -> list[str]:
+    """``k`` draws without replacement (with replacement once ``k`` exceeds the pool)."""
+    if k <= len(pool):
+        idx = rng.choice(len(pool), size=k, replace=False)
+    else:
+        idx = rng.choice(len(pool), size=k, replace=True)
+    return [pool[int(i)] for i in idx]

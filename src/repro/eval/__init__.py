@@ -1,0 +1,21 @@
+"""Evaluation: pair-level metrics, match clustering, and the experiment
+harness shared by examples and benchmarks."""
+
+from repro.eval.metrics import (
+    confusion_counts,
+    f_score,
+    precision_recall_f1,
+)
+from repro.eval.clustering import UnionFind, connected_components, transitive_closure
+from repro.eval.matching import greedy_one_to_one, score_threshold_matches
+
+__all__ = [
+    "precision_recall_f1",
+    "f_score",
+    "confusion_counts",
+    "UnionFind",
+    "connected_components",
+    "transitive_closure",
+    "greedy_one_to_one",
+    "score_threshold_matches",
+]

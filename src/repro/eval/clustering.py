@@ -1,0 +1,79 @@
+"""Transitive closure over predicted matches.
+
+The simplest post-processing use of transitivity (§5 mentions it as the
+naive alternative to soft calibration): treat predicted matches as graph
+edges and take connected components as entities. Provided both for the
+examples and for comparing post-hoc closure against ZeroER's in-EM
+calibration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+__all__ = ["UnionFind", "connected_components", "transitive_closure"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self):
+        self._parent: dict = {}
+        self._size: dict = {}
+
+    def find(self, item):
+        """Representative of ``item``'s set (inserting it if unseen)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a, b) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def groups(self) -> list[list]:
+        """All sets with ≥ 1 member, each sorted, in deterministic order."""
+        members = defaultdict(list)
+        for item in self._parent:
+            members[self.find(item)].append(item)
+        return sorted(
+            (sorted(group, key=repr) for group in members.values()),
+            key=lambda g: repr(g[0]),
+        )
+
+
+def connected_components(edges: Iterable[tuple]) -> list[list]:
+    """Connected components of the match graph, as sorted node lists."""
+    uf = UnionFind()
+    for a, b in edges:
+        uf.union(a, b)
+    return uf.groups()
+
+
+def transitive_closure(edges: Iterable[tuple]) -> set[tuple]:
+    """All within-component pairs implied by the matches.
+
+    Every unordered pair of distinct nodes in the same component is returned
+    once, in canonical (repr-sorted) order.
+    """
+    closure: set[tuple] = set()
+    for component in connected_components(edges):
+        for i in range(len(component)):
+            for j in range(i + 1, len(component)):
+                closure.add((component[i], component[j]))
+    return closure

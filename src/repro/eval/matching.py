@@ -1,0 +1,60 @@
+"""Match-set post-processing.
+
+ZeroER scores candidate pairs independently; downstream consumers often need
+a *consistent assignment*. Two standard post-processors:
+
+* :func:`greedy_one_to_one` — for record linkage between two deduplicated
+  tables, where each record should match at most once: take pairs in
+  descending score order, skipping any pair whose endpoint is already used
+  (the classic greedy weighted bipartite matching, a 1/2-approximation).
+* :func:`score_threshold_matches` — the plain thresholding ZeroER itself
+  applies, exposed for symmetry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["greedy_one_to_one", "score_threshold_matches"]
+
+
+def score_threshold_matches(
+    pairs: Sequence[tuple], scores: np.ndarray, threshold: float = 0.5
+) -> list[tuple]:
+    """Pairs whose posterior exceeds ``threshold`` (Equation 5 for 0.5)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if len(pairs) != scores.shape[0]:
+        raise ValueError(f"{len(pairs)} pairs but {scores.shape[0]} scores")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    return [tuple(p) for p, s in zip(pairs, scores) if s > threshold]
+
+
+def greedy_one_to_one(
+    pairs: Sequence[tuple], scores: np.ndarray, threshold: float = 0.5
+) -> list[tuple]:
+    """Highest-score-first one-to-one assignment.
+
+    Only pairs above ``threshold`` participate. Each left id and each right
+    id appears in at most one returned pair. Ties broken deterministically
+    by pair order. Returns pairs in descending score order.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if len(pairs) != scores.shape[0]:
+        raise ValueError(f"{len(pairs)} pairs but {scores.shape[0]} scores")
+    order = sorted(range(len(pairs)), key=lambda i: (-scores[i], i))
+    used_left: set = set()
+    used_right: set = set()
+    out: list[tuple] = []
+    for i in order:
+        if scores[i] <= threshold:
+            break
+        left_id, right_id = pairs[i]
+        if left_id in used_left or right_id in used_right:
+            continue
+        used_left.add(left_id)
+        used_right.add(right_id)
+        out.append((left_id, right_id))
+    return out

@@ -1,0 +1,56 @@
+"""Pair-level classification metrics.
+
+The paper reports F-score throughout (§7.1, "Performance Measures"), the
+right choice under heavy class imbalance where accuracy is vacuous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_counts", "precision_recall_f1", "f_score"]
+
+
+def _as_binary(y, name: str) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    arr = arr.astype(np.float64)
+    if not np.all(np.isin(arr, (0.0, 1.0))):
+        raise ValueError(f"{name} must contain only 0/1 labels")
+    return arr
+
+
+def confusion_counts(y_true, y_pred) -> dict[str, int]:
+    """True/false positive/negative counts for binary labels."""
+    t = _as_binary(y_true, "y_true")
+    p = _as_binary(y_pred, "y_pred")
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    return {
+        "tp": int(np.sum((t == 1) & (p == 1))),
+        "fp": int(np.sum((t == 0) & (p == 1))),
+        "fn": int(np.sum((t == 1) & (p == 0))),
+        "tn": int(np.sum((t == 0) & (p == 0))),
+    }
+
+
+def precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
+    """Precision, recall, and F1.
+
+    Conventions for empty denominators: precision is 1.0 when nothing was
+    predicted positive, recall is 1.0 when there are no true positives to
+    find, and F1 is 0.0 when precision + recall is 0.
+    """
+    counts = confusion_counts(y_true, y_pred)
+    tp, fp, fn = counts["tp"], counts["fp"], counts["fn"]
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 1.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 1.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    return precision, recall, 2.0 * precision * recall / (precision + recall)
+
+
+def f_score(y_true, y_pred) -> float:
+    """F1 only (the number reported in the paper's tables)."""
+    return precision_recall_f1(y_true, y_pred)[2]

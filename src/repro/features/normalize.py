@@ -1,0 +1,75 @@
+"""Feature-matrix normalization and imputation.
+
+The paper min–max normalizes every feature to [0, 1] before fitting (§6).
+Similarity functions emit NaN for missing attribute values; those cells are
+imputed with the column mean after scaling, the same policy the authors'
+released code uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["MinMaxNormalizer", "impute_nan"]
+
+
+def impute_nan(X: np.ndarray, column_means: np.ndarray | None = None) -> np.ndarray:
+    """Replace NaN cells with per-column means (0.5 for all-NaN columns).
+
+    Pass precomputed ``column_means`` to impute a held-out matrix with the
+    training columns' statistics.
+    """
+    X = check_feature_matrix(X, allow_nan=True)
+    out = X.copy()
+    if column_means is None:
+        with np.errstate(invalid="ignore"):
+            column_means = np.nanmean(out, axis=0)
+    column_means = np.where(np.isfinite(column_means), column_means, 0.5)
+    nan_rows, nan_cols = np.where(np.isnan(out))
+    out[nan_rows, nan_cols] = column_means[nan_cols]
+    return out
+
+
+class MinMaxNormalizer:
+    """Per-feature min–max scaling to [0, 1] with NaN-aware statistics.
+
+    Fit on one matrix, transform any other with the same columns — needed
+    when the model is fitted on an unlabeled subsample and applied to the
+    remainder (paper Figure 4c). Constant columns map to 0. Transformed
+    values are clipped to [0, 1] so unseen out-of-range values cannot
+    destabilize the model.
+    """
+
+    def __init__(self):
+        self.mins_: np.ndarray | None = None
+        self.maxs_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxNormalizer":
+        X = check_feature_matrix(X, allow_nan=True)
+        with np.errstate(all="ignore"):
+            self.mins_ = np.nanmin(X, axis=0)
+            self.maxs_ = np.nanmax(X, axis=0)
+        # all-NaN columns: make the transform a no-op producing 0
+        self.mins_ = np.where(np.isfinite(self.mins_), self.mins_, 0.0)
+        self.maxs_ = np.where(np.isfinite(self.maxs_), self.maxs_, 0.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mins_ is None or self.maxs_ is None:
+            raise RuntimeError("MinMaxNormalizer must be fitted before transform")
+        X = check_feature_matrix(X, allow_nan=True)
+        if X.shape[1] != self.mins_.shape[0]:
+            raise ValueError(
+                f"matrix has {X.shape[1]} features, normalizer was fitted on {self.mins_.shape[0]}"
+            )
+        span = self.maxs_ - self.mins_
+        safe_span = np.where(span > 0.0, span, 1.0)
+        scaled = (X - self.mins_) / safe_span
+        scaled = np.where(span > 0.0, scaled, 0.0)
+        # NaN cells stay NaN (impute separately); finite cells are clipped.
+        return np.clip(scaled, 0.0, 1.0)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,65 @@
+"""Attribute type inference.
+
+Magellan infers a type for each aligned attribute and uses it to select
+similarity functions (paper §2.1, Figure 1c). We reproduce the same idea
+with five types: boolean, numeric, and short / medium / long strings
+(split by average word count).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+__all__ = ["AttributeType", "infer_attribute_type"]
+
+_BOOL_TOKENS = {"true", "false", "yes", "no", "0", "1"}
+
+
+class AttributeType(enum.Enum):
+    """Inferred attribute type driving similarity-function selection."""
+
+    BOOLEAN = "boolean"
+    NUMERIC = "numeric"
+    SHORT_STRING = "short_string"    # ~1 word: names, codes, categories
+    MEDIUM_STRING = "medium_string"  # phrases: titles, author lists
+    LONG_STRING = "long_string"      # free text: descriptions
+
+
+def _is_number(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    try:
+        float(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def infer_attribute_type(values: Iterable) -> AttributeType:
+    """Infer the type of one attribute from its observed values.
+
+    Missing values (``None``) are ignored. An attribute with no observed
+    values defaults to ``SHORT_STRING`` (the most conservative choice: its
+    features will all be NaN and get imputed anyway).
+
+    Thresholds: ≤ 1.5 average words → short, ≤ 10 → medium, else long.
+    """
+    observed = [v for v in values if v is not None]
+    if not observed:
+        return AttributeType.SHORT_STRING
+    if all(isinstance(v, bool) or str(v).strip().lower() in _BOOL_TOKENS for v in observed):
+        # all-boolean-ish values; require at least one genuine bool/yes/no to
+        # avoid classifying {0, 1}-coded numerics seen once
+        if any(isinstance(v, bool) or str(v).strip().lower() in ("true", "false", "yes", "no") for v in observed):
+            return AttributeType.BOOLEAN
+    if all(_is_number(v) for v in observed):
+        return AttributeType.NUMERIC
+    avg_words = sum(len(str(v).split()) for v in observed) / len(observed)
+    if avg_words <= 1.5:
+        return AttributeType.SHORT_STRING
+    if avg_words <= 10.0:
+        return AttributeType.MEDIUM_STRING
+    return AttributeType.LONG_STRING

@@ -1,0 +1,144 @@
+"""High-level end-to-end pipeline.
+
+:class:`ERPipeline` wires blocking, automatic feature generation, and the
+ZeroER matcher into one object for the common case: two tables in,
+scored/labeled pairs out. Record-linkage transitivity (the F/Fl/Fr coupling
+of §5) is handled automatically when enabled: within-table candidate sets
+are derived from cross-candidate co-occurrence, exactly as the benchmark
+harness does.
+
+For research workflows that need to intercept intermediate artifacts, use
+the pieces directly (see ``examples/custom_data.py``); the pipeline is the
+convenience path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blocking.base import Blocker
+from repro.blocking.overlap import TokenOverlapBlocker
+from repro.core.config import ZeroERConfig
+from repro.core.linkage import ZeroERLinkage
+from repro.core.model import ZeroER
+from repro.data.table import Table
+from repro.eval.harness import co_candidate_pairs
+from repro.features.generator import FeatureGenerator
+
+__all__ = ["ERPipeline", "ERResult"]
+
+
+@dataclass
+class ERResult:
+    """Everything a pipeline run produces."""
+
+    pairs: list[tuple]
+    scores: np.ndarray
+    labels: np.ndarray
+    feature_names: list[str]
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def matches(self) -> list[tuple]:
+        """The predicted matching pairs."""
+        return [pair for pair, label in zip(self.pairs, self.labels) if label == 1]
+
+    def top_matches(self, k: int = 10) -> list[tuple]:
+        """The ``k`` most confident predicted matches with their scores."""
+        order = np.argsort(-self.scores)
+        out = []
+        for i in order:
+            if self.labels[int(i)] == 1:
+                out.append((self.pairs[int(i)], float(self.scores[int(i)])))
+            if len(out) >= k:
+                break
+        return out
+
+
+class ERPipeline:
+    """Block → featurize → match, in one call.
+
+    Parameters
+    ----------
+    blocker:
+        Any :class:`~repro.blocking.base.Blocker`; defaults to token overlap
+        on ``blocking_attribute``.
+    blocking_attribute:
+        Attribute for the default blocker (required when ``blocker`` is not
+        given).
+    config:
+        ZeroER hyperparameters (paper defaults when omitted).
+    co_candidate_cap:
+        Per-anchor cap when deriving within-table candidate sets for the
+        linkage transitivity coupling.
+    """
+
+    def __init__(
+        self,
+        blocker: Blocker | None = None,
+        blocking_attribute: str | None = None,
+        config: ZeroERConfig | None = None,
+        co_candidate_cap: int = 10,
+    ):
+        if blocker is None:
+            if blocking_attribute is None:
+                raise ValueError("provide either a blocker or a blocking_attribute")
+            blocker = TokenOverlapBlocker(blocking_attribute, min_overlap=1, top_k=60)
+        self.blocker = blocker
+        self.config = config if config is not None else ZeroERConfig()
+        self.co_candidate_cap = int(co_candidate_cap)
+        self.generator_: FeatureGenerator | None = None
+        self.model_: ZeroER | ZeroERLinkage | None = None
+
+    def run(self, left: Table, right: Table | None = None) -> ERResult:
+        """Resolve entities between two tables (or within one, dedup mode)."""
+        timings: dict[str, float] = {}
+
+        started = time.perf_counter()
+        pairs = self.blocker.block(left, right)
+        timings["blocking"] = time.perf_counter() - started
+        if not pairs:
+            return ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
+
+        started = time.perf_counter()
+        generator = FeatureGenerator().fit(left, right)
+        X = generator.transform(left, right, pairs)
+        timings["features"] = time.perf_counter() - started
+        self.generator_ = generator
+
+        started = time.perf_counter()
+        if right is not None and self.config.transitivity:
+            model = self._fit_linkage(left, right, pairs, generator, X)
+        else:
+            model = ZeroER(self.config)
+            model.fit(X, generator.feature_groups_, pairs if right is None else None)
+        timings["matching"] = time.perf_counter() - started
+        self.model_ = model
+
+        return ERResult(
+            pairs=pairs,
+            scores=model.match_scores_,
+            labels=(model.match_scores_ > 0.5).astype(np.int64),
+            feature_names=generator.feature_names_,
+            seconds=timings,
+        )
+
+    def _fit_linkage(self, left, right, pairs, generator, X) -> ZeroERLinkage:
+        left_pairs = co_candidate_pairs(pairs, side=0, cap=self.co_candidate_cap)
+        right_pairs = co_candidate_pairs(pairs, side=1, cap=self.co_candidate_cap)
+        X_left = generator.transform(left, None, left_pairs) if left_pairs else None
+        X_right = generator.transform(right, None, right_pairs) if right_pairs else None
+        model = ZeroERLinkage(self.config)
+        model.fit(
+            X,
+            pairs,
+            feature_groups=generator.feature_groups_,
+            X_left=X_left,
+            left_pairs=left_pairs if X_left is not None else None,
+            X_right=X_right,
+            right_pairs=right_pairs if X_right is not None else None,
+        )
+        return model

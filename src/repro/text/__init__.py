@@ -1,0 +1,62 @@
+"""String similarity substrate.
+
+This package reimplements the similarity-function zoo that Magellan
+(py_entitymatching) applies during automatic feature generation, plus the
+tokenizers those functions depend on. Everything is pure Python/numpy.
+
+Two API styles are provided:
+
+* plain functions (``jaccard``, ``levenshtein_similarity``, ...) operating on
+  already-tokenized input or raw strings, and
+* small callable classes (``QgramTokenizer``, ...) carrying configuration,
+  used by :mod:`repro.features` when it assembles feature tables.
+"""
+
+from repro.text.tokenizers import (
+    AlnumTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    WhitespaceTokenizer,
+)
+from repro.text.phonetic import phonetic_match, soundex
+from repro.text.similarity import (
+    cosine,
+    dice,
+    exact_match,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    needleman_wunsch,
+    numeric_absolute_similarity,
+    numeric_relative_similarity,
+    overlap_coefficient,
+    smith_waterman,
+    tfidf_cosine,
+)
+
+__all__ = [
+    "QgramTokenizer",
+    "WhitespaceTokenizer",
+    "AlnumTokenizer",
+    "DelimiterTokenizer",
+    "jaccard",
+    "cosine",
+    "dice",
+    "overlap_coefficient",
+    "tfidf_cosine",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "monge_elkan",
+    "needleman_wunsch",
+    "smith_waterman",
+    "exact_match",
+    "numeric_absolute_similarity",
+    "numeric_relative_similarity",
+    "soundex",
+    "phonetic_match",
+]

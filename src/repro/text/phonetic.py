@@ -1,0 +1,59 @@
+"""Phonetic encodings.
+
+Classic record-linkage blocking/matching keys: names that sound alike get
+the same code even when spelled differently ("smith" / "smyth"). Soundex is
+the encoding the Fellegi–Sunter tradition (and the U.S. Census) used.
+"""
+
+from __future__ import annotations
+
+__all__ = ["soundex", "phonetic_match"]
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(value: str | None) -> str | None:
+    """American Soundex code (letter + three digits), e.g. ``robert → r163``.
+
+    Follows the standard algorithm: keep the first letter; code consonants;
+    collapse adjacent identical codes (including across ``h``/``w``); drop
+    vowels; pad with zeros. Non-alphabetic characters are ignored; an input
+    with no letters (or ``None``) encodes to ``None``.
+    """
+    if value is None:
+        return None
+    letters = [c for c in str(value).lower() if c.isalpha()]
+    if not letters:
+        return None
+    first = letters[0]
+    digits = [_SOUNDEX_CODES.get(first, "")]
+    for ch in letters[1:]:
+        if ch in "hw":
+            continue  # h/w do not break runs of identical codes
+        code = _SOUNDEX_CODES.get(ch, "")
+        digits.append(code)
+    collapsed: list[str] = []
+    previous = digits[0]
+    for code in digits[1:]:
+        if code and code != previous:
+            collapsed.append(code)
+        if code:  # vowels (empty codes) break runs
+            previous = code
+        else:
+            previous = ""
+    return (first + "".join(collapsed) + "000")[:4]
+
+
+def phonetic_match(a: str | None, b: str | None) -> float:
+    """1.0 if the Soundex codes agree, 0.0 otherwise (NaN when missing)."""
+    ca, cb = soundex(a), soundex(b)
+    if ca is None or cb is None:
+        return float("nan")
+    return 1.0 if ca == cb else 0.0

@@ -1,0 +1,148 @@
+"""Tokenizers used by token-based similarity measures.
+
+Mirrors the tokenizer set Magellan exposes: q-gram tokenizers (with optional
+padding), whitespace tokenization, alphanumeric tokenization, and an
+arbitrary-delimiter tokenizer. Tokenizers are small callables so similarity
+functions can be composed with any of them.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "Tokenizer",
+    "QgramTokenizer",
+    "WhitespaceTokenizer",
+    "AlnumTokenizer",
+    "DelimiterTokenizer",
+]
+
+
+class Tokenizer:
+    """Base class: a tokenizer maps a string to a list of tokens.
+
+    Subclasses implement :meth:`tokenize`. Instances are also callable.
+    ``None`` input (a missing attribute value) tokenizes to an empty list,
+    which downstream similarity functions translate into a NaN feature.
+    """
+
+    #: Whether :meth:`tokenize` may return duplicate tokens (bag semantics).
+    returns_bag = True
+
+    def tokenize(self, text: str | None) -> list[str]:
+        raise NotImplementedError
+
+    def __call__(self, text: str | None) -> list[str]:
+        return self.tokenize(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class QgramTokenizer(Tokenizer):
+    """Character q-grams, optionally padded with boundary markers.
+
+    Padding with ``q - 1`` copies of ``#`` / ``$`` (Magellan's convention)
+    gives boundary characters the same weight as interior ones, which helps
+    short strings.
+
+    >>> QgramTokenizer(3).tokenize("abc")
+    ['##a', '#ab', 'abc', 'bc$', 'c$$']
+    """
+
+    def __init__(self, q: int = 3, *, padded: bool = True, lowercase: bool = True):
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = int(q)
+        self.padded = bool(padded)
+        self.lowercase = bool(lowercase)
+
+    def tokenize(self, text: str | None) -> list[str]:
+        if text is None:
+            return []
+        s = str(text)
+        if self.lowercase:
+            s = s.lower()
+        if not s:
+            return []
+        if self.padded and self.q > 1:
+            pad = self.q - 1
+            s = "#" * pad + s + "$" * pad
+        if len(s) < self.q:
+            return [s]
+        return [s[i : i + self.q] for i in range(len(s) - self.q + 1)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QgramTokenizer(q={self.q}, padded={self.padded})"
+
+
+class WhitespaceTokenizer(Tokenizer):
+    """Split on runs of whitespace.
+
+    >>> WhitespaceTokenizer().tokenize("deep  learning for ER")
+    ['deep', 'learning', 'for', 'er']
+    """
+
+    def __init__(self, *, lowercase: bool = True):
+        self.lowercase = bool(lowercase)
+
+    def tokenize(self, text: str | None) -> list[str]:
+        if text is None:
+            return []
+        s = str(text)
+        if self.lowercase:
+            s = s.lower()
+        return s.split()
+
+
+class AlnumTokenizer(Tokenizer):
+    """Maximal alphanumeric runs; punctuation acts as a delimiter.
+
+    >>> AlnumTokenizer().tokenize("O'Neil & Sons, Ltd.")
+    ['o', 'neil', 'sons', 'ltd']
+    """
+
+    _pattern = re.compile(r"[a-z0-9]+")
+
+    def __init__(self, *, lowercase: bool = True):
+        self.lowercase = bool(lowercase)
+
+    def tokenize(self, text: str | None) -> list[str]:
+        if text is None:
+            return []
+        s = str(text)
+        if self.lowercase:
+            s = s.lower()
+        else:  # match uppercase too when not lowercasing
+            return re.findall(r"[A-Za-z0-9]+", s)
+        return self._pattern.findall(s)
+
+
+class DelimiterTokenizer(Tokenizer):
+    """Split on a fixed delimiter string (e.g. ``,`` for author lists).
+
+    >>> DelimiterTokenizer(",").tokenize("Smith, J., Doe, J.")
+    ['smith', 'j.', 'doe', 'j.']
+    """
+
+    def __init__(self, delimiter: str = ",", *, lowercase: bool = True, strip: bool = True):
+        if not delimiter:
+            raise ValueError("delimiter must be a non-empty string")
+        self.delimiter = delimiter
+        self.lowercase = bool(lowercase)
+        self.strip = bool(strip)
+
+    def tokenize(self, text: str | None) -> list[str]:
+        if text is None:
+            return []
+        s = str(text)
+        if self.lowercase:
+            s = s.lower()
+        parts = s.split(self.delimiter)
+        if self.strip:
+            parts = [p.strip() for p in parts]
+        return [p for p in parts if p]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DelimiterTokenizer({self.delimiter!r})"

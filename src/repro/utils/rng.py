@@ -1,0 +1,32 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in this library accepts a ``random_state`` argument
+and converts it with :func:`ensure_rng`, so experiments are reproducible from
+a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(random_state: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for nondeterministic entropy, an ``int`` seed, or an
+        existing :class:`~numpy.random.Generator` (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, an int, or a numpy Generator, got {type(random_state).__name__}"
+    )

@@ -1,0 +1,102 @@
+"""Input validation helpers used across the library.
+
+These mirror the defensive checks a production ER system performs at its API
+boundary: every public ``fit``/``predict`` funnels its array inputs through
+one of these functions so that malformed input fails fast with a clear
+message instead of surfacing as a numpy broadcasting error deep inside EM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_feature_matrix",
+    "check_feature_groups",
+    "check_posterior",
+    "check_probability",
+]
+
+
+def check_feature_matrix(X, *, allow_nan: bool = False, name: str = "X") -> np.ndarray:
+    """Validate and return a 2-D float feature matrix.
+
+    Parameters
+    ----------
+    X:
+        Array-like of shape ``(n_pairs, n_features)``.
+    allow_nan:
+        When ``False`` (default) any NaN/inf raises ``ValueError``. Feature
+        generation may legitimately produce NaN for missing attribute values;
+        those call sites pass ``allow_nan=True`` and impute afterwards.
+    name:
+        Argument name used in error messages.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must contain at least one feature column")
+    if not allow_nan and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values; impute or clean first")
+    if allow_nan and np.any(np.isinf(arr)):
+        raise ValueError(f"{name} contains infinite values")
+    return arr
+
+
+def check_feature_groups(groups: Sequence[Sequence[int]] | None, n_features: int) -> list[list[int]]:
+    """Validate a feature-group partition.
+
+    A valid grouping is a list of non-empty, disjoint index lists that
+    together cover ``range(n_features)`` exactly. ``None`` means "one group
+    per feature" (the independence assumption) and is expanded here.
+    """
+    if groups is None:
+        return [[j] for j in range(n_features)]
+    expanded: list[list[int]] = []
+    seen: set[int] = set()
+    for g, idx in enumerate(groups):
+        members = [int(j) for j in idx]
+        if not members:
+            raise ValueError(f"feature group {g} is empty")
+        for j in members:
+            if j < 0 or j >= n_features:
+                raise ValueError(f"feature index {j} in group {g} out of range [0, {n_features})")
+            if j in seen:
+                raise ValueError(f"feature index {j} appears in more than one group")
+            seen.add(j)
+        expanded.append(members)
+    if len(seen) != n_features:
+        missing = sorted(set(range(n_features)) - seen)
+        raise ValueError(f"feature groups do not cover all features; missing {missing}")
+    return expanded
+
+
+def check_posterior(gamma, n_rows: int | None = None) -> np.ndarray:
+    """Validate a vector of posterior match probabilities in ``[0, 1]``."""
+    arr = np.asarray(gamma, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"posterior must be 1-dimensional, got shape {arr.shape}")
+    if n_rows is not None and arr.shape[0] != n_rows:
+        raise ValueError(f"posterior has {arr.shape[0]} entries, expected {n_rows}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("posterior contains NaN or infinite values")
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise ValueError("posterior values must lie in [0, 1]")
+    return arr
+
+
+def check_probability(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate a scalar probability-like hyperparameter."""
+    p = float(value)
+    if inclusive:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    else:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {p}")
+    return p

@@ -1,0 +1,176 @@
+"""Tests for the supervised baselines (LR, tree, RF, MLP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.eval import f_score
+
+
+@pytest.fixture
+def train_test(separable_mixture, rng):
+    """50/50 split with oversampled matches — the paper's §7.1 protocol."""
+    from repro.baselines import oversample_minority
+
+    X, y = separable_mixture
+    idx = rng.permutation(len(y))
+    half = len(y) // 2
+    Xtr, ytr = oversample_minority(X[idx[:half]], y[idx[:half]], random_state=0)
+    return Xtr, ytr, X[idx[half:]], y[idx[half:]]
+
+
+ALL_MODELS = [
+    lambda: LogisticRegression(l2=0.1),
+    lambda: DecisionTreeClassifier(min_samples_leaf=3, random_state=0),
+    lambda: RandomForestClassifier(n_estimators=15, min_samples_leaf=2, random_state=0),
+    lambda: MLPClassifier(hidden=(16, 8), max_epochs=60, random_state=0),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+class TestCommonBehavior:
+    def test_learns_separable_problem(self, factory, train_test):
+        Xtr, ytr, Xte, yte = train_test
+        model = factory().fit(Xtr, ytr)
+        assert f_score(yte, model.predict(Xte)) > 0.9
+
+    def test_proba_in_unit_interval(self, factory, train_test):
+        Xtr, ytr, Xte, _ = train_test
+        proba = factory().fit(Xtr, ytr).predict_proba(Xte)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_predict_before_fit_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.ones((2, 6)))
+
+    def test_rejects_non_binary_labels(self, factory, train_test):
+        Xtr, ytr, _, _ = train_test
+        with pytest.raises(ValueError):
+            factory().fit(Xtr, ytr + 1)
+
+    def test_rejects_shape_mismatch(self, factory, train_test):
+        Xtr, ytr, _, _ = train_test
+        with pytest.raises(ValueError):
+            factory().fit(Xtr, ytr[:-1])
+
+
+class TestLogisticRegression:
+    def test_coefficients_point_toward_positive_class(self, train_test):
+        Xtr, ytr, _, _ = train_test
+        model = LogisticRegression().fit(Xtr, ytr)
+        assert np.all(model.coef_ > 0)  # all features are positively informative
+
+    def test_l2_shrinks_weights(self, train_test):
+        Xtr, ytr, _, _ = train_test
+        loose = LogisticRegression(l2=1e-6).fit(Xtr, ytr)
+        tight = LogisticRegression(l2=100.0).fit(Xtr, ytr)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError, match="both classes"):
+            LogisticRegression().fit(np.ones((5, 2)), np.ones(5))
+
+    def test_rejects_negative_l2(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_decision_function_sign_matches_prediction(self, train_test):
+        Xtr, ytr, Xte, _ = train_test
+        model = LogisticRegression().fit(Xtr, ytr)
+        z = model.decision_function(Xte)
+        assert np.array_equal(model.predict(Xte), (z > 0).astype(int))
+
+
+class TestDecisionTree:
+    def test_pure_node_is_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 0.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_single_split_problem(self):
+        X = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 1
+        assert np.array_equal(tree.predict(X), y.astype(int))
+
+    def test_max_depth_respected(self, separable_mixture):
+        X, y = separable_mixture
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X = np.linspace(0, 1, 10)[:, None]
+        y = (X.ravel() > 0.55).astype(float)
+        tree = DecisionTreeClassifier(min_samples_leaf=4).fit(X, y)
+        # any split must leave >= 4 rows per side, so only positions 4..6 allowed
+        assert tree.depth() <= 1
+
+    def test_xor_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y.astype(int))
+        assert tree.depth() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestRandomForest:
+    def test_seed_reproducibility(self, train_test):
+        Xtr, ytr, Xte, _ = train_test
+        a = RandomForestClassifier(n_estimators=8, random_state=7).fit(Xtr, ytr)
+        b = RandomForestClassifier(n_estimators=8, random_state=7).fit(Xtr, ytr)
+        assert np.array_equal(a.predict_proba(Xte), b.predict_proba(Xte))
+
+    def test_probability_is_tree_average(self, train_test):
+        Xtr, ytr, Xte, _ = train_test
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(Xtr, ytr)
+        manual = np.mean([t.predict_proba(Xte) for t in forest.trees_], axis=0)
+        assert np.allclose(forest.predict_proba(Xte), manual)
+
+    def test_n_estimators_respected(self, train_test):
+        Xtr, ytr, _, _ = train_test
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(Xtr, ytr)
+        assert len(forest.trees_) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestMLP:
+    def test_loss_decreases(self, train_test):
+        Xtr, ytr, _, _ = train_test
+        model = MLPClassifier(hidden=(16,), max_epochs=30, random_state=0).fit(Xtr, ytr)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_early_stopping_on_plateau(self, rng):
+        # pure-noise labels: the loss plateaus at ln(2) and patience kicks in
+        X = rng.random((200, 4))
+        y = (rng.random(200) < 0.5).astype(float)
+        model = MLPClassifier(hidden=(4,), max_epochs=300, patience=3, random_state=0)
+        model.fit(X, y)
+        assert len(model.loss_curve_) < 300
+
+    def test_seed_reproducibility(self, train_test):
+        Xtr, ytr, Xte, _ = train_test
+        a = MLPClassifier(hidden=(8,), max_epochs=10, random_state=3).fit(Xtr, ytr)
+        b = MLPClassifier(hidden=(8,), max_epochs=10, random_state=3).fit(Xtr, ytr)
+        assert np.allclose(a.predict_proba(Xte), b.predict_proba(Xte))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden=())
+        with pytest.raises(ValueError):
+            MLPClassifier(l2=-0.1)

@@ -1,0 +1,118 @@
+"""Tests for the unsupervised baselines (K-Means, GMM, ECM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ECMClassifier, GaussianMixtureMatcher, KMeansMatcher
+from repro.eval import f_score
+
+
+class TestKMeans:
+    def test_sk_separates_balanced_clusters(self, rng):
+        X = np.vstack([rng.normal(0.2, 0.05, (100, 4)), rng.normal(0.8, 0.05, (100, 4))])
+        y = np.array([0.0] * 100 + [1.0] * 100)
+        pred = KMeansMatcher("sk", random_state=0).fit_predict(X)
+        assert f_score(y, pred) > 0.95
+
+    def test_match_cluster_is_high_magnitude(self, rng):
+        X = np.vstack([rng.normal(0.1, 0.03, (150, 3)), rng.normal(0.9, 0.03, (20, 3))])
+        model = KMeansMatcher("sk", random_state=0).fit(X)
+        pred = model.predict(X)
+        assert pred[-5:].all()  # the high-similarity rows are the matches
+        assert not pred[:5].any()
+
+    def test_rl_weighting_favors_minority(self, separable_mixture):
+        X, y = separable_mixture
+        rl = KMeansMatcher("rl", match_weight=4.0, random_state=0).fit_predict(X)
+        sk = KMeansMatcher("sk", random_state=0).fit_predict(X)
+        # RL assigns at least as many pairs to the match cluster
+        assert rl.sum() >= sk.sum()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeansMatcher().predict(np.ones((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeansMatcher("other")
+        with pytest.raises(ValueError):
+            KMeansMatcher(match_weight=0.0)
+
+    def test_deterministic_with_seed(self, separable_mixture):
+        X, _ = separable_mixture
+        a = KMeansMatcher("sk", random_state=5).fit_predict(X)
+        b = KMeansMatcher("sk", random_state=5).fit_predict(X)
+        assert np.array_equal(a, b)
+
+    def test_constant_data_does_not_crash(self):
+        X = np.full((20, 3), 0.5)
+        pred = KMeansMatcher("sk", random_state=0).fit_predict(X)
+        assert pred.shape == (20,)
+
+
+class TestGaussianMixtureMatcher:
+    def test_separates_clusters(self, separable_mixture):
+        X, y = separable_mixture
+        pred = GaussianMixtureMatcher(random_state=0).fit_predict(X)
+        assert f_score(y, pred) > 0.85
+
+    def test_scores_stored(self, separable_mixture):
+        X, _ = separable_mixture
+        model = GaussianMixtureMatcher(random_state=0)
+        model.fit_predict(X)
+        assert model.match_scores_.shape == (X.shape[0],)
+
+    def test_accepts_nan(self, separable_mixture):
+        X, y = separable_mixture
+        X = X.copy()
+        X[::9, 1] = np.nan
+        pred = GaussianMixtureMatcher(random_state=0).fit_predict(X)
+        assert f_score(y, pred) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureMatcher(reg_covar=-1.0)
+
+
+class TestECM:
+    def test_strong_agreement_pattern_learned(self, rng):
+        # matches agree on all 5 features, unmatches agree on ~1
+        n_match, n_unmatch = 40, 400
+        X_match = rng.uniform(0.85, 1.0, (n_match, 5))
+        X_unmatch = rng.uniform(0.0, 0.4, (n_unmatch, 5))
+        X_unmatch[:, 0] = rng.uniform(0.85, 1.0, n_unmatch)  # one noisy feature
+        X = np.vstack([X_match, X_unmatch])
+        y = np.array([1.0] * n_match + [0.0] * n_unmatch)
+        model = ECMClassifier()
+        pred = model.fit_predict(X)
+        assert f_score(y, pred) > 0.9
+        # m probability for agreeing features must exceed u probability
+        assert np.all(model.m_[1:] > model.u_[1:])
+
+    def test_prior_learned_roughly(self, rng):
+        X = np.vstack([rng.uniform(0.9, 1.0, (30, 4)), rng.uniform(0.0, 0.3, (270, 4))])
+        model = ECMClassifier()
+        model.fit_predict(X)
+        assert 0.02 < model.prior_ < 0.3
+
+    def test_binarization_threshold_matters(self, rng):
+        X = np.vstack([rng.uniform(0.55, 0.7, (30, 4)), rng.uniform(0.0, 0.3, (270, 4))])
+        # matches sit at ~0.6 similarity: a 0.8 binarization erases them
+        high = ECMClassifier(binarize_threshold=0.95)
+        pred_high = high.fit_predict(X)
+        low = ECMClassifier(binarize_threshold=0.5)
+        pred_low = low.fit_predict(X)
+        y = np.array([1.0] * 30 + [0.0] * 270)
+        assert f_score(y, pred_low) > f_score(y, pred_high)
+
+    def test_scores_in_range(self, separable_mixture):
+        X, _ = separable_mixture
+        model = ECMClassifier()
+        model.fit_predict(X)
+        assert np.all((model.match_scores_ >= 0) & (model.match_scores_ <= 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECMClassifier(binarize_threshold=1.5)
+        with pytest.raises(ValueError):
+            ECMClassifier(init_prior=0.0)

@@ -1,0 +1,125 @@
+"""Tests for the synthetic benchmark generators."""
+
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARK_NAMES,
+    SCALE_FACTORS,
+    dataset_statistics,
+    load_benchmark,
+)
+
+
+class TestLoadBenchmark:
+    def test_all_names_generate(self):
+        for name in BENCHMARK_NAMES:
+            ds = load_benchmark(name, scale="tiny")
+            assert len(ds.left) > 0 and len(ds.right) > 0
+            assert ds.n_matches > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nonsense")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            load_benchmark("rest_fz", scale="huge")
+
+    def test_deterministic(self):
+        a = load_benchmark("rest_fz", scale="tiny", seed=3)
+        b = load_benchmark("rest_fz", scale="tiny", seed=3)
+        assert a.left == b.left and a.right == b.right
+        assert a.matches == b.matches
+
+    def test_seed_changes_data(self):
+        a = load_benchmark("rest_fz", scale="tiny", seed=0)
+        b = load_benchmark("rest_fz", scale="tiny", seed=1)
+        assert a.left != b.left
+
+    def test_scale_ordering(self):
+        tiny = load_benchmark("pub_da", scale="tiny")
+        small = load_benchmark("pub_da", scale="small")
+        assert len(small.left) > len(tiny.left)
+        assert small.n_matches > tiny.n_matches
+
+    def test_env_scale_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        ds = load_benchmark("rest_fz")
+        assert ds.scale == "tiny"
+
+
+class TestDatasetStructure:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_benchmark("pub_ds", scale="tiny")
+
+    def test_match_ids_exist(self, ds):
+        for left_id, right_id in ds.matches:
+            assert left_id in ds.left
+            assert right_id in ds.right
+
+    def test_attributes_match_spec(self, ds):
+        assert ds.left.attributes == list(ds.spec.attributes)
+        assert ds.right.attributes == list(ds.spec.attributes)
+
+    def test_no_private_attributes_leak(self, ds):
+        assert not any(a.startswith("_") for a in ds.left.attributes)
+        for rec in ds.left.head(5):
+            assert not any(k.startswith("_") for k in rec)
+
+    def test_pub_ds_has_one_to_many_matches(self, ds):
+        # DBLP-Scholar's defining property: multiple right copies per entity
+        from collections import Counter
+        per_left = Counter(l for l, _ in ds.matches)
+        assert max(per_left.values()) >= 2
+
+    def test_rest_fz_is_one_to_one(self):
+        ds = load_benchmark("rest_fz", scale="tiny")
+        lefts = [l for l, _ in ds.matches]
+        rights = [r for _, r in ds.matches]
+        assert len(set(rights)) == len(rights)  # each right row matches once
+
+    def test_is_match_and_labels_for(self, ds):
+        pair = next(iter(ds.matches))
+        assert ds.is_match(*pair)
+        labels = ds.labels_for([pair, ("L0", "R999999")])
+        assert labels.tolist() == [1.0, 0.0]
+
+    def test_as_dedup_merges(self, ds):
+        merged, matches = ds.as_dedup()
+        assert len(merged) == len(ds.left) + len(ds.right)
+        assert matches == ds.matches
+
+
+class TestMatchQuality:
+    def test_matched_restaurant_pairs_share_signal(self):
+        ds = load_benchmark("rest_fz", scale="tiny")
+        shared = 0
+        for left_id, right_id in ds.matches:
+            l, r = ds.left.get(left_id), ds.right.get(right_id)
+            left_tokens = set(str(l["name"]).split())
+            right_tokens = set(str(r["name"]).split())
+            if left_tokens & right_tokens:
+                shared += 1
+        assert shared / ds.n_matches > 0.8  # restaurants are the clean dataset
+
+    def test_product_matches_often_renamed(self):
+        ds = load_benchmark("prod_ag", scale="tiny")
+        jaccards = []
+        for left_id, right_id in ds.matches:
+            a = set(str(ds.left.get(left_id)["title"]).split())
+            b = set(str(ds.right.get(right_id)["title"]).split())
+            jaccards.append(len(a & b) / len(a | b))
+        # the hard channel must leave a substantial fraction of matches with
+        # low token overlap (vendor renames)
+        assert sum(1 for j in jaccards if j < 0.5) / len(jaccards) > 0.3
+
+    def test_statistics_shape(self):
+        ds = load_benchmark("mv_ri", scale="tiny")
+        stats = dataset_statistics(ds)
+        assert stats["n_matches"] == ds.n_matches
+        assert stats["n_attributes"] == 8
+        assert "tuples" in stats
+
+    def test_scale_factors_registered(self):
+        assert set(SCALE_FACTORS) == {"tiny", "small", "paper"}

@@ -1,0 +1,199 @@
+"""Tests for the blocking package."""
+
+import pytest
+
+from repro.blocking import (
+    AttributeEquivalenceBlocker,
+    QgramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenOverlapBlocker,
+    UnionBlocker,
+    candidate_recall,
+    candidate_statistics,
+)
+from repro.data.table import Table
+
+
+@pytest.fixture
+def left():
+    return Table(
+        [
+            {"id": "l1", "name": "golden dragon grill", "city": "chicago"},
+            {"id": "l2", "name": "blue lotus cafe", "city": "boston"},
+            {"id": "l3", "name": "iron skillet", "city": None},
+        ],
+        attributes=["name", "city"],
+    )
+
+
+@pytest.fixture
+def right():
+    return Table(
+        [
+            {"id": "r1", "name": "golden dragon", "city": "chicago"},
+            {"id": "r2", "name": "blue lotus", "city": "boston"},
+            {"id": "r3", "name": "crimson tavern", "city": "chicago"},
+            {"id": "r4", "name": "skillet house", "city": None},
+        ],
+        attributes=["name", "city"],
+    )
+
+
+class TestAttributeEquivalence:
+    def test_linkage_join(self, left, right):
+        pairs = AttributeEquivalenceBlocker("city").block(left, right)
+        assert set(pairs) == {("l1", "r1"), ("l1", "r3"), ("l2", "r2")}
+
+    def test_none_never_matches(self, left, right):
+        pairs = AttributeEquivalenceBlocker("city").block(left, right)
+        assert not any("l3" in p or "r4" in p for p in pairs)
+
+    def test_transform(self, left, right):
+        pairs = AttributeEquivalenceBlocker("name", transform=lambda v: v.split()[0]).block(
+            left, right
+        )
+        assert ("l1", "r1") in pairs and ("l2", "r2") in pairs
+
+    def test_dedup_mode(self):
+        t = Table([{"id": i, "k": i % 2} for i in range(4)], attributes=["k"])
+        pairs = AttributeEquivalenceBlocker("k").block(t)
+        assert set(pairs) == {(0, 2), (1, 3)}
+
+
+class TestTokenOverlap:
+    def test_basic_overlap(self, left, right):
+        pairs = TokenOverlapBlocker("name", min_overlap=1, max_df=1.0).block(left, right)
+        assert ("l1", "r1") in pairs
+        assert ("l2", "r2") in pairs
+
+    def test_min_overlap_two(self, left, right):
+        pairs = TokenOverlapBlocker("name", min_overlap=2, max_df=1.0).block(left, right)
+        assert ("l1", "r1") in pairs  # shares golden + dragon
+        assert ("l3", "r4") not in pairs  # shares only skillet
+
+    def test_top_k_caps_per_left_record(self):
+        left = Table([{"id": "l", "name": "alpha beta"}], attributes=["name"])
+        right = Table(
+            [{"id": f"r{i}", "name": "alpha beta gamma"} for i in range(10)],
+            attributes=["name"],
+        )
+        pairs = TokenOverlapBlocker("name", top_k=3, max_df=1.0).block(left, right)
+        assert len(pairs) == 3
+
+    def test_top_k_prefers_higher_overlap(self):
+        left = Table([{"id": "l", "name": "a b c"}], attributes=["name"])
+        right = Table(
+            [
+                {"id": "one", "name": "a x y"},
+                {"id": "three", "name": "a b c"},
+                {"id": "two", "name": "a b z"},
+            ],
+            attributes=["name"],
+        )
+        pairs = TokenOverlapBlocker("name", top_k=1, max_df=1.0).block(left, right)
+        assert pairs == [("l", "three")]
+
+    def test_max_df_prunes_stopwords(self):
+        left = Table([{"id": "l", "name": "the unique"}], attributes=["name"])
+        right = Table(
+            [{"id": f"r{i}", "name": f"the filler{i}"} for i in range(9)]
+            + [{"id": "hit", "name": "unique item"}],
+            attributes=["name"],
+        )
+        pairs = TokenOverlapBlocker("name", max_df=0.5).block(left, right)
+        assert pairs == [("l", "hit")]  # "the" appears in 90% of right rows
+
+    def test_dedup_emits_each_pair_once(self):
+        t = Table(
+            [{"id": i, "name": "shared tokens here"} for i in range(4)],
+            attributes=["name"],
+        )
+        pairs = TokenOverlapBlocker("name", max_df=1.0).block(t)
+        assert len(pairs) == len(set(pairs)) == 6  # C(4,2)
+
+    def test_missing_values_skipped(self):
+        t = Table([{"id": 1, "name": None}, {"id": 2, "name": "x"}], attributes=["name"])
+        assert TokenOverlapBlocker("name", max_df=1.0).block(t) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenOverlapBlocker("a", min_overlap=0)
+        with pytest.raises(ValueError):
+            TokenOverlapBlocker("a", max_df=0.0)
+        with pytest.raises(ValueError):
+            TokenOverlapBlocker("a", top_k=0)
+
+
+class TestQgramBlocker:
+    def test_typo_tolerant(self):
+        left = Table([{"id": "l", "name": "restaurant"}], attributes=["name"])
+        right = Table([{"id": "r", "name": "restuarant"}], attributes=["name"])  # transposed
+        pairs = QgramBlocker("name", q=3, min_overlap=2, max_df=1.0).block(left, right)
+        assert pairs == [("l", "r")]
+
+    def test_disjoint_strings_not_paired(self):
+        left = Table([{"id": "l", "name": "aaaa"}], attributes=["name"])
+        right = Table([{"id": "r", "name": "zzzz"}], attributes=["name"])
+        assert QgramBlocker("name", max_df=1.0).block(left, right) == []
+
+
+class TestSortedNeighborhood:
+    def test_adjacent_names_paired(self, left, right):
+        pairs = SortedNeighborhoodBlocker("name", window=3).block(left, right)
+        assert ("l1", "r1") in pairs  # "golden dragon grill" next to "golden dragon"
+
+    def test_window_two_is_adjacent_only(self):
+        t = Table([{"id": i, "k": f"v{i}"} for i in range(5)], attributes=["k"])
+        pairs = SortedNeighborhoodBlocker("k", window=2).block(t)
+        assert len(pairs) == 4
+
+    def test_linkage_only_cross_pairs(self, left, right):
+        pairs = SortedNeighborhoodBlocker("name", window=4).block(left, right)
+        left_ids = set(left.ids())
+        for a, b in pairs:
+            assert a in left_ids and b not in left_ids
+
+    def test_rejects_small_window(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker("k", window=1)
+
+    def test_missing_values_sort_last(self, left, right):
+        pairs = SortedNeighborhoodBlocker("city", window=2).block(left, right)
+        assert ("l3", "r4") in pairs  # the two None-city records end up adjacent
+
+
+class TestUnionBlocker:
+    def test_union_dedupes(self, left, right):
+        b1 = TokenOverlapBlocker("name", max_df=1.0)
+        union = UnionBlocker([b1, b1])
+        assert union.block(left, right) == b1.block(left, right)
+
+    def test_union_adds_pairs(self, left, right):
+        name_only = TokenOverlapBlocker("name", min_overlap=2, max_df=1.0)
+        city = AttributeEquivalenceBlocker("city")
+        union = UnionBlocker([name_only, city])
+        merged = union.block(left, right)
+        assert set(name_only.block(left, right)) | set(city.block(left, right)) == set(merged)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UnionBlocker([])
+
+    def test_rejects_non_blockers(self):
+        with pytest.raises(TypeError):
+            UnionBlocker(["not a blocker"])
+
+
+class TestCandidateAccounting:
+    def test_recall(self):
+        gold = [("a", "b"), ("c", "d")]
+        assert candidate_recall([("a", "b")], gold) == 0.5
+        assert candidate_recall([], []) == 1.0
+
+    def test_statistics(self):
+        stats = candidate_statistics([("a", "b"), ("a", "c")], [("a", "b")], 2, 3)
+        assert stats["n_candidates"] == 2
+        assert stats["recall"] == 1.0
+        assert stats["retained_matches"] == 1
+        assert stats["match_fraction"] == 0.5
+        assert stats["reduction_ratio"] == pytest.approx(1 - 2 / 6)

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import csv
+
+import pytest
+
+from repro import load_benchmark
+from repro.__main__ import main
+from repro.data.io import write_csv
+
+
+@pytest.fixture(scope="module")
+def csv_tables(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    ds = load_benchmark("rest_fz", scale="tiny", seed=4)
+    left_path, right_path = tmp / "left.csv", tmp / "right.csv"
+    write_csv(ds.left, left_path)
+    write_csv(ds.right, right_path)
+    return ds, left_path, right_path, tmp
+
+
+def _read_matches(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestCLI:
+    def test_linkage_run_writes_matches(self, csv_tables):
+        ds, left_path, right_path, tmp = csv_tables
+        out = tmp / "matches.csv"
+        code = main(
+            ["--left", str(left_path), "--right", str(right_path),
+             "--block-on", "name", "-o", str(out)]
+        )
+        assert code == 0
+        rows = _read_matches(out)
+        assert rows, "expected at least one match"
+        gold = {(r["left_id"], r["right_id"]) in ds.matches for r in rows}
+        assert any(gold)  # finds real matches
+        for row in rows:
+            assert 0.5 < float(row["score"]) <= 1.0
+
+    def test_one_to_one_flag(self, csv_tables):
+        _, left_path, right_path, tmp = csv_tables
+        out = tmp / "matches_121.csv"
+        code = main(
+            ["--left", str(left_path), "--right", str(right_path),
+             "--block-on", "name", "-o", str(out), "--one-to-one"]
+        )
+        assert code == 0
+        rows = _read_matches(out)
+        lefts = [r["left_id"] for r in rows]
+        rights = [r["right_id"] for r in rows]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_dedup_mode(self, csv_tables):
+        _, left_path, _, tmp = csv_tables
+        out = tmp / "dups.csv"
+        code = main(["--left", str(left_path), "--block-on", "name", "-o", str(out)])
+        assert code == 0  # runs without a right table
+
+    def test_bad_block_attribute(self, csv_tables):
+        _, left_path, right_path, tmp = csv_tables
+        code = main(
+            ["--left", str(left_path), "--right", str(right_path),
+             "--block-on", "nonexistent", "-o", str(tmp / "x.csv")]
+        )
+        assert code == 2
+
+    def test_no_transitivity_flag(self, csv_tables):
+        _, left_path, right_path, tmp = csv_tables
+        out = tmp / "matches_not.csv"
+        code = main(
+            ["--left", str(left_path), "--right", str(right_path),
+             "--block-on", "name", "-o", str(out), "--no-transitivity"]
+        )
+        assert code == 0

@@ -1,0 +1,84 @@
+"""Tests for union-find and transitive closure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.clustering import UnionFind, connected_components, transitive_closure
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.find("a") == uf.find("b")
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+
+    def test_chains_merge(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.union("x", "y")
+        assert uf.find("a") == uf.find("c")
+        assert uf.find("a") != uf.find("x")
+
+    def test_groups_sorted_and_complete(self):
+        uf = UnionFind()
+        uf.union("b", "a")
+        uf.find("z")
+        groups = uf.groups()
+        assert ["a", "b"] in groups
+        assert ["z"] in groups
+
+
+class TestConnectedComponents:
+    def test_simple(self):
+        comps = connected_components([("a", "b"), ("b", "c"), ("x", "y")])
+        assert ["a", "b", "c"] in comps
+        assert ["x", "y"] in comps
+
+    def test_empty(self):
+        assert connected_components([]) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=30))
+    def test_every_edge_within_one_component(self, edges):
+        comps = connected_components(edges)
+        location = {node: i for i, comp in enumerate(comps) for node in comp}
+        for a, b in edges:
+            assert location[a] == location[b]
+
+
+class TestTransitiveClosure:
+    def test_triangle_completed(self):
+        closure = transitive_closure([("a", "b"), ("b", "c")])
+        assert ("a", "c") in closure or ("c", "a") in closure
+        assert len(closure) == 3
+
+    def test_closure_size_is_choose_two(self):
+        edges = [(i, i + 1) for i in range(5)]  # one 6-node chain
+        assert len(transitive_closure(edges)) == 15  # C(6,2)
+
+    def test_pairs_canonical_once(self):
+        closure = transitive_closure([("b", "a")])
+        assert len(closure) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=20))
+    def test_closure_is_transitive(self, edges):
+        edges = [(a, b) for a, b in edges if a != b]
+        closure = transitive_closure(edges)
+        nodes_of = lambda p: set(p)
+        # if (x,y) and (y,z) in closure then (x,z) must be too
+        as_set = {frozenset(p) for p in closure}
+        for p1 in as_set:
+            for p2 in as_set:
+                shared = p1 & p2
+                if len(shared) == 1 and p1 != p2:
+                    third = frozenset((p1 | p2) - shared)
+                    assert third in as_set

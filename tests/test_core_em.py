@@ -1,0 +1,174 @@
+"""Tests for the EM engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ZeroERConfig
+from repro.core.em import EMRunner
+
+
+def make_runner(X, groups=None, **cfg):
+    defaults = dict(transitivity=False)
+    defaults.update(cfg)
+    return EMRunner(np.asarray(X), groups, ZeroERConfig(**defaults))
+
+
+class TestSteps:
+    def test_e_before_m_raises(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        with pytest.raises(RuntimeError, match="m_step"):
+            runner.e_step()
+
+    def test_m_step_estimates_prior_from_gamma(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        params = runner.m_step()
+        assert params.prior_match == pytest.approx(runner.gamma.mean(), abs=1e-12)
+
+    def test_m_step_means_reflect_hard_assignment(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        params = runner.m_step()
+        matches = runner.gamma == 1.0
+        assert np.allclose(params.match.mean, X[matches].mean(axis=0))
+        assert np.allclose(params.unmatch.mean, X[~matches].mean(axis=0))
+
+    def test_e_step_returns_finite_ll_and_valid_gamma(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        runner.m_step()
+        ll = runner.e_step()
+        assert np.isfinite(ll)
+        assert np.all((runner.gamma >= 0) & (runner.gamma <= 1))
+
+    def test_covariance_structure_full(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X, covariance="full")
+        assert len(runner.groups) == 1
+        assert runner.groups[0] == list(range(X.shape[1]))
+
+    def test_covariance_structure_independent_ignores_declared_groups(self, grouped_mixture):
+        X, _, groups = grouped_mixture
+        runner = make_runner(X, groups, covariance="independent")
+        assert runner.groups == [[j] for j in range(X.shape[1])]
+
+    def test_covariance_structure_grouped_uses_declared(self, grouped_mixture):
+        X, _, groups = grouped_mixture
+        runner = make_runner(X, groups, covariance="grouped")
+        assert runner.groups == groups
+
+    def test_adaptive_regularization_on_covariance_diagonal(self, separable_mixture):
+        X, _ = separable_mixture
+        plain = make_runner(X, regularization="none")
+        reg = make_runner(X, regularization="adaptive", kappa=0.5)
+        p1, p2 = plain.m_step(), reg.m_step()
+        gap = (p2.match.mean - p2.unmatch.mean) ** 2
+        expected = p1.match.variances() + 0.5 * gap
+        assert np.allclose(p2.match.variances(), expected)
+
+    def test_shared_correlation_computed_once(self, grouped_mixture):
+        X, _, groups = grouped_mixture
+        runner = make_runner(X, groups, shared_correlation=True)
+        assert runner._shared_correlation is not None
+        first = [b.copy() for b in runner._shared_correlation]
+        runner.m_step()
+        runner.e_step()
+        runner.m_step()
+        for a, b in zip(first, runner._shared_correlation):
+            assert np.array_equal(a, b)
+
+
+class TestRun:
+    def test_converges_on_separable_data(self, separable_mixture):
+        X, y = separable_mixture
+        runner = make_runner(X)
+        history = runner.run()
+        assert history.converged
+        pred = (runner.gamma > 0.5).astype(float)
+        accuracy = np.mean(pred == y)
+        assert accuracy > 0.95
+
+    def test_likelihood_monotone_for_exact_em(self, separable_mixture):
+        # without shared correlation the M-step is the exact maximizer, so
+        # the observed-data likelihood must be non-decreasing
+        X, _ = separable_mixture
+        for covariance in ("full", "independent", "grouped"):
+            runner = make_runner(
+                X, covariance=covariance, regularization="none", shared_correlation=False
+            )
+            history = runner.run()
+            lls = np.array(history.log_likelihoods)
+            assert np.all(np.diff(lls) >= -1e-7), covariance
+
+    def test_likelihood_monotone_with_adaptive_regularization(self, separable_mixture):
+        # Σ = S + K is the exact maximizer of the penalized objective;
+        # monotonicity of the observed likelihood still holds in practice on
+        # well-separated data
+        X, _ = separable_mixture
+        runner = make_runner(X, regularization="adaptive", shared_correlation=False)
+        history = runner.run()
+        lls = np.array(history.log_likelihoods)
+        assert np.all(np.diff(lls) >= -1e-6)
+
+    def test_respects_max_iter(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X, max_iter=3, tol=1e-30)
+        history = runner.run()
+        assert history.n_iterations == 3
+        assert not history.converged
+
+    def test_tail_averaging_on_non_convergence(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X, max_iter=5, tol=1e-30, tail_window=5)
+        runner.run()
+        # averaged gamma is generally strictly inside (0, 1)
+        assert np.all(runner.gamma >= 0) and np.all(runner.gamma <= 1)
+
+    def test_history_timings_recorded(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        history = runner.run()
+        assert len(history.iteration_seconds) == history.n_iterations
+        assert all(t >= 0 for t in history.iteration_seconds)
+
+    def test_posterior_on_new_rows(self, separable_mixture):
+        X, y = separable_mixture
+        runner = make_runner(X[:400])
+        runner.run()
+        scores = runner.posterior(X[400:])
+        pred = (scores > 0.5).astype(float)
+        assert np.mean(pred == y[400:]) > 0.9
+
+    def test_component_collapse_guard_keeps_previous_params(self, separable_mixture):
+        X, _ = separable_mixture
+        runner = make_runner(X)
+        runner.m_step()
+        before = runner.params.match
+        runner.gamma = np.zeros(X.shape[0])  # M component collapses
+        runner.m_step()
+        assert runner.params.match is before  # frozen, not NaN
+
+
+class TestSingularityBehavior:
+    def test_degenerate_feature_without_regularization_misleads(self, rng):
+        """The paper's singularity scenario (§3.3, Figure 3).
+
+        One feature is constant 1.0 for all initial matches. Without
+        regularization the M-variance on that feature collapses; with
+        adaptive regularization the model must still use other features.
+        """
+        n = 400
+        y = (rng.random(n) < 0.1).astype(float)
+        informative = np.clip(rng.normal(0.2, 0.1, n) + 0.6 * y, 0, 1)
+        degenerate = np.where(y == 1, 1.0, rng.uniform(0, 0.5, n))
+        X = np.column_stack([degenerate, informative])
+
+        reg = make_runner(X, regularization="adaptive", kappa=0.15)
+        reg.run()
+        reg_var = reg.params.match.variances()[0]
+        plain = make_runner(X, regularization="none")
+        plain.run()
+        plain_var = plain.params.match.variances()[0]
+        assert reg_var > plain_var  # regularization inflates the collapsed variance
+        assert reg_var >= 0.15 * (reg.params.match.mean[0] - reg.params.unmatch.mean[0]) ** 2

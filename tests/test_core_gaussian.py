@@ -1,0 +1,73 @@
+"""Tests for the block-diagonal Gaussian."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.core.gaussian import BlockDiagonalGaussian
+
+
+@pytest.fixture
+def two_block(rng):
+    mean = np.array([0.1, 0.2, 0.3, 0.4])
+    a = np.array([[0.05, 0.01], [0.01, 0.04]])
+    b = np.array([[0.03, -0.005], [-0.005, 0.06]])
+    return BlockDiagonalGaussian(mean, [[0, 1], [2, 3]], [a, b])
+
+
+class TestConstruction:
+    def test_valid(self, two_block):
+        assert two_block.n_features == 4
+
+    def test_rejects_group_block_count_mismatch(self):
+        with pytest.raises(ValueError, match="covariance blocks"):
+            BlockDiagonalGaussian(np.zeros(2), [[0, 1]], [np.eye(2), np.eye(1)])
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            BlockDiagonalGaussian(np.zeros(3), [[0, 1]], [np.eye(2)])
+
+    def test_rejects_wrong_block_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            BlockDiagonalGaussian(np.zeros(2), [[0, 1]], [np.eye(3)])
+
+
+class TestLogpdf:
+    def test_equals_full_gaussian_on_block_diagonal_cov(self, two_block, rng):
+        X = rng.normal(0.25, 0.2, size=(25, 4))
+        full_cov = two_block.covariance_matrix()
+        reference = scipy.stats.multivariate_normal(two_block.mean, full_cov).logpdf(X)
+        assert np.allclose(two_block.logpdf(X), reference)
+
+    def test_single_block_equals_multivariate(self, rng):
+        A = rng.normal(size=(3, 3))
+        cov = A @ A.T + np.eye(3)
+        mean = rng.normal(size=3)
+        g = BlockDiagonalGaussian(mean, [[0, 1, 2]], [cov])
+        X = rng.normal(size=(10, 3))
+        reference = scipy.stats.multivariate_normal(mean, cov).logpdf(X)
+        assert np.allclose(g.logpdf(X), reference)
+
+    def test_rejects_wrong_width(self, two_block):
+        with pytest.raises(ValueError, match="features"):
+            two_block.logpdf(np.zeros((2, 3)))
+
+    def test_independent_blocks_sum(self, rng):
+        # logpdf of independent dims = sum of univariate logpdfs
+        g = BlockDiagonalGaussian(
+            np.array([0.0, 1.0]), [[0], [1]], [np.array([[1.0]]), np.array([[4.0]])]
+        )
+        X = rng.normal(size=(8, 2))
+        expected = scipy.stats.norm(0, 1).logpdf(X[:, 0]) + scipy.stats.norm(1, 2).logpdf(X[:, 1])
+        assert np.allclose(g.logpdf(X), expected)
+
+
+class TestViews:
+    def test_covariance_matrix_assembly(self, two_block):
+        cov = two_block.covariance_matrix()
+        assert cov.shape == (4, 4)
+        assert cov[0, 2] == 0.0 and cov[1, 3] == 0.0  # cross-block zeros
+        assert cov[0, 1] == pytest.approx(0.01)
+
+    def test_variances(self, two_block):
+        assert np.allclose(two_block.variances(), [0.05, 0.04, 0.03, 0.06])

@@ -1,0 +1,54 @@
+"""Tests for the magnitude-based initialization (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InitializationError
+from repro.core.initialization import magnitude_initialization
+
+
+def test_hard_assignments_only():
+    X = np.array([[0.9, 0.9], [0.1, 0.1], [0.8, 0.85]])
+    gamma = magnitude_initialization(X, 0.5)
+    assert set(gamma.tolist()) <= {0.0, 1.0}
+
+
+def test_high_magnitude_rows_are_matches():
+    X = np.vstack([np.full((5, 3), 0.9), np.full((5, 3), 0.05), [[0.5, 0.5, 0.5]]])
+    gamma = magnitude_initialization(X, 0.5)
+    assert np.all(gamma[:5] == 1.0)
+    assert np.all(gamma[5:10] == 0.0)
+
+
+def test_threshold_zero_fails():
+    # §7.4: EM fails to run at the threshold extremes
+    X = np.random.default_rng(0).random((10, 2))
+    with pytest.raises(InitializationError, match="component"):
+        magnitude_initialization(X, 0.0)
+
+
+def test_threshold_one_fails():
+    X = np.random.default_rng(0).random((10, 2))
+    with pytest.raises(InitializationError):
+        magnitude_initialization(X, 1.0)
+
+
+def test_constant_magnitude_fails():
+    X = np.ones((5, 2))
+    with pytest.raises(InitializationError):
+        magnitude_initialization(X, 0.5)
+
+
+def test_threshold_monotonicity(rng):
+    X = rng.random((100, 4))
+    low = magnitude_initialization(X, 0.3).sum()
+    high = magnitude_initialization(X, 0.7).sum()
+    assert low >= high  # higher threshold -> fewer initial matches
+
+
+def test_scale_invariance(rng):
+    # min–max normalization of the magnitudes makes the split scale-free
+    X = rng.random((50, 3)) + 0.2
+    a = magnitude_initialization(X, 0.5)
+    b = magnitude_initialization(X * 7.0, 0.5)
+    assert np.array_equal(a, b)

@@ -1,0 +1,123 @@
+"""Tests for the three-model record-linkage trainer (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ZeroERConfig, ZeroERLinkage
+from repro.eval import f_score
+from repro.utils.rng import ensure_rng
+
+
+def linkage_problem(seed=0, n_left=120, copies_for=30):
+    """A synthetic linkage task with 1-to-many matches.
+
+    Left entities have similarity-vector signatures; right side holds one or
+    two copies per matched entity. Returns cross/left/right matrices, pair
+    id lists, and gold labels for the cross pairs.
+    """
+    rng = ensure_rng(seed)
+    cross_pairs, rows, labels = [], [], []
+    right_pairs, right_rows, right_labels = [], [], []
+
+    def match_row():
+        return np.clip(rng.normal(0.8, 0.08, 4), 0, 1)
+
+    def unmatch_row():
+        return np.clip(rng.normal(0.2, 0.08, 4), 0, 1)
+
+    rid = 0
+    for i in range(n_left):
+        lid = f"L{i}"
+        n_copies = 2 if i < copies_for else 1
+        copy_ids = []
+        for _ in range(n_copies):
+            cross_pairs.append((lid, f"R{rid}"))
+            rows.append(match_row())
+            labels.append(1.0)
+            copy_ids.append(f"R{rid}")
+            rid += 1
+        if len(copy_ids) == 2:
+            right_pairs.append((copy_ids[0], copy_ids[1]))
+            right_rows.append(match_row())
+            right_labels.append(1.0)
+        # distractor cross pair + its closing right pair (true unmatch)
+        cross_pairs.append((lid, f"R{rid}"))
+        rows.append(unmatch_row())
+        labels.append(0.0)
+        right_pairs.append((copy_ids[0], f"R{rid}"))
+        right_rows.append(unmatch_row())
+        right_labels.append(0.0)
+        rid += 1
+
+    return (
+        np.array(rows),
+        cross_pairs,
+        np.array(labels),
+        np.array(right_rows),
+        right_pairs,
+        np.array(right_labels),
+    )
+
+
+class TestFitModes:
+    @pytest.mark.parametrize("mode", ["staged", "joint"])
+    def test_linkage_solves_one_to_many(self, mode):
+        X, pairs, y, Xr, pr, yr = linkage_problem()
+        model = ZeroERLinkage(ZeroERConfig(linkage_mode=mode))
+        model.fit(X, pairs, X_right=Xr, right_pairs=pr)
+        assert f_score(y, model.labels_) > 0.9
+
+    def test_without_within_models(self):
+        X, pairs, y, *_ = linkage_problem()
+        model = ZeroERLinkage(transitivity=False)
+        model.fit(X, pairs)
+        assert f_score(y, model.labels_) > 0.9
+
+    def test_transitivity_improves_or_matches_f1(self):
+        X, pairs, y, Xr, pr, yr = linkage_problem(seed=3)
+        with_t = ZeroERLinkage(transitivity=True).fit(X, pairs, X_right=Xr, right_pairs=pr)
+        without = ZeroERLinkage(transitivity=False).fit(X, pairs)
+        assert f_score(y, with_t.labels_) >= f_score(y, without.labels_) - 0.02
+
+    def test_right_scores_exposed(self):
+        X, pairs, y, Xr, pr, yr = linkage_problem()
+        model = ZeroERLinkage().fit(X, pairs, X_right=Xr, right_pairs=pr)
+        assert model.right_scores_ is not None
+        assert model.right_scores_.shape == (len(pr),)
+        assert model.left_scores_ is None
+
+    def test_within_model_finds_right_duplicates(self):
+        X, pairs, y, Xr, pr, yr = linkage_problem()
+        model = ZeroERLinkage().fit(X, pairs, X_right=Xr, right_pairs=pr)
+        pred_right = (model.right_scores_ > 0.5).astype(float)
+        assert f_score(yr, pred_right) > 0.9
+
+
+class TestValidation:
+    def test_misaligned_cross_pairs(self):
+        with pytest.raises(ValueError, match="align"):
+            ZeroERLinkage().fit(np.ones((3, 2)), [("a", "b")])
+
+    def test_misaligned_within_pairs(self):
+        X, pairs, *_ = linkage_problem()
+        with pytest.raises(ValueError, match="align"):
+            ZeroERLinkage().fit(X, pairs, X_right=np.ones((4, 4)), right_pairs=[("a", "b")])
+
+    def test_unfitted_access(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            _ = ZeroERLinkage().labels_
+
+    def test_history_available(self):
+        X, pairs, y, *_ = linkage_problem()
+        model = ZeroERLinkage(transitivity=False).fit(X, pairs)
+        assert model.history_.n_iterations >= 2
+
+    def test_all_unmatch_within_table_handled(self):
+        # a clean table's within-pair set may initialize to a single class;
+        # the linkage trainer must degrade gracefully (runner dropped)
+        X, pairs, y, *_ = linkage_problem()
+        n = 30
+        X_left = np.clip(np.random.default_rng(0).normal(0.2, 0.01, (n, 4)), 0, 1)
+        left_pairs = [(f"L{i}", f"L{i+1}") for i in range(n)]
+        model = ZeroERLinkage().fit(X, pairs, X_left=X_left, left_pairs=left_pairs)
+        assert f_score(y, model.labels_) > 0.85

@@ -1,0 +1,126 @@
+"""Tests for the ZeroER public model class."""
+
+import numpy as np
+import pytest
+
+from repro.core import ZeroER, ZeroERConfig
+from repro.eval import f_score
+
+
+class TestConstruction:
+    def test_default_config(self):
+        assert ZeroER().config == ZeroERConfig()
+
+    def test_kwarg_overrides(self):
+        model = ZeroER(kappa=0.6, transitivity=False)
+        assert model.config.kappa == 0.6
+        assert not model.config.transitivity
+
+    def test_config_plus_overrides(self):
+        base = ZeroERConfig(kappa=0.3)
+        model = ZeroER(base, max_iter=10)
+        assert model.config.kappa == 0.3 and model.config.max_iter == 10
+
+    def test_invalid_override_raises(self):
+        with pytest.raises(ValueError):
+            ZeroER(covariance="bogus")
+
+
+class TestFit:
+    def test_fit_predict_separable(self, separable_mixture):
+        X, y = separable_mixture
+        labels = ZeroER(transitivity=False).fit_predict(X)
+        assert f_score(y, labels) > 0.95
+
+    def test_accepts_nan_features(self, separable_mixture):
+        X, y = separable_mixture
+        X = X.copy()
+        X[::7, 0] = np.nan
+        labels = ZeroER(transitivity=False).fit_predict(X)
+        assert f_score(y, labels) > 0.9
+
+    def test_grouped_covariance_with_groups(self, grouped_mixture):
+        X, y, groups = grouped_mixture
+        labels = ZeroER(transitivity=False).fit_predict(X, feature_groups=groups)
+        assert f_score(y, labels) > 0.9
+
+    def test_pairs_length_mismatch(self, separable_mixture):
+        X, _ = separable_mixture
+        with pytest.raises(ValueError, match="pairs"):
+            ZeroER().fit(X, pairs=[("a", "b")])
+
+    def test_transitivity_with_pairs_runs(self, separable_mixture):
+        X, y = separable_mixture
+        pairs = [(f"a{i}", f"b{i}") for i in range(len(y))]
+        labels = ZeroER(transitivity=True).fit_predict(X, pairs=pairs)
+        # bipartite disjoint pairs: no triangles, so same as no transitivity
+        assert f_score(y, labels) > 0.95
+
+    def test_attributes_before_fit_raise(self):
+        model = ZeroER()
+        for attr in ("match_scores_", "labels_", "params_", "history_"):
+            with pytest.raises(RuntimeError, match="fitted"):
+                getattr(model, attr)
+
+
+class TestFittedState:
+    @pytest.fixture
+    def fitted(self, separable_mixture):
+        X, y = separable_mixture
+        return ZeroER(transitivity=False).fit(X), X, y
+
+    def test_scores_shape_and_range(self, fitted):
+        model, X, _ = fitted
+        scores = model.match_scores_
+        assert scores.shape == (X.shape[0],)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_labels_are_scores_thresholded(self, fitted):
+        model, _, _ = fitted
+        assert np.array_equal(model.labels_, (model.match_scores_ > 0.5).astype(int))
+
+    def test_params_prior_is_small_for_imbalanced_data(self, fitted):
+        model, _, y = fitted
+        assert model.params_.prior_match == pytest.approx(y.mean(), abs=0.05)
+
+    def test_history_and_convergence(self, fitted):
+        model, _, _ = fitted
+        assert model.converged_
+        assert model.n_iter_ == model.history_.n_iterations
+        assert model.n_iter_ >= 2
+
+    def test_match_means_exceed_unmatch_means(self, fitted):
+        model, _, _ = fitted
+        assert np.all(model.params_.match.mean > model.params_.unmatch.mean)
+
+
+class TestPredict:
+    def test_holdout_prediction(self, separable_mixture):
+        X, y = separable_mixture
+        model = ZeroER(transitivity=False).fit(X[:450])
+        pred = model.predict(X[450:])
+        assert f_score(y[450:], pred) > 0.85
+
+    def test_predict_proba_range(self, separable_mixture):
+        X, _ = separable_mixture
+        model = ZeroER(transitivity=False).fit(X)
+        proba = model.predict_proba(X[:50])
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_predict_with_nan(self, separable_mixture):
+        X, _ = separable_mixture
+        model = ZeroER(transitivity=False).fit(X)
+        X_new = X[:5].copy()
+        X_new[0, 0] = np.nan
+        assert np.all(np.isfinite(model.predict_proba(X_new)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ZeroER().predict(np.ones((2, 3)))
+
+    def test_training_prediction_consistent_with_labels(self, separable_mixture):
+        # predict() on the training matrix ≈ labels_ (up to transitivity and
+        # tail-averaging, both absent here)
+        X, _ = separable_mixture
+        model = ZeroER(transitivity=False).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)

@@ -1,0 +1,120 @@
+"""Tests for the transitivity calibrators (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transitivity import (
+    DedupTransitivityCalibrator,
+    LinkageTransitivityCalibrator,
+)
+
+
+class TestDedupCalibrator:
+    def test_no_violation_no_change(self):
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        gamma = np.array([0.9, 0.9, 0.95])  # 0.81 <= 0.95, consistent
+        cal = DedupTransitivityCalibrator(pairs)
+        assert cal.calibrate(gamma) == 0
+        assert np.allclose(gamma, [0.9, 0.9, 0.95])
+
+    def test_least_confident_closing_pair_raised(self):
+        # Equation 17's third case: γ23 closest to 0.5 -> γ23 := γ12·γ13
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        gamma = np.array([0.95, 0.9, 0.55])
+        cal = DedupTransitivityCalibrator(pairs)
+        assert cal.calibrate(gamma) == 1
+        assert gamma[2] == pytest.approx(0.95 * 0.9)
+
+    def test_least_confident_edge_demoted(self):
+        # γ12 closest to 0.5 -> γ12 := γ23/γ13
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        gamma = np.array([0.6, 0.99, 0.05])
+        cal = DedupTransitivityCalibrator(pairs)
+        cal.calibrate(gamma)
+        assert gamma[0] == pytest.approx(0.05 / 0.99)
+
+    def test_missing_closing_pair_treated_as_zero(self):
+        # blocked-out closing pair -> γ23 = 0, weaker edge demoted to 0
+        pairs = [("a", "b"), ("a", "c")]
+        gamma = np.array([0.7, 0.95])
+        cal = DedupTransitivityCalibrator(pairs)
+        assert cal.calibrate(gamma) == 1
+        assert gamma[0] == 0.0
+        assert gamma[1] == pytest.approx(0.95)
+
+    def test_low_gamma_edges_not_touched(self):
+        pairs = [("a", "b"), ("a", "c")]
+        gamma = np.array([0.4, 0.95])  # only one high edge at node a
+        cal = DedupTransitivityCalibrator(pairs)
+        assert cal.calibrate(gamma) == 0
+
+    def test_result_stays_in_unit_interval(self, rng):
+        nodes = [f"n{i}" for i in range(12)]
+        pairs = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1 :]]
+        gamma = rng.random(len(pairs))
+        cal = DedupTransitivityCalibrator(pairs)
+        cal.calibrate(gamma)
+        assert np.all(gamma >= 0.0) and np.all(gamma <= 1.0)
+
+    def test_pair_order_insensitive_closing_lookup(self):
+        # closing pair stored reversed must still be found
+        pairs = [("a", "b"), ("a", "c"), ("c", "b")]
+        gamma = np.array([0.9, 0.9, 0.95])
+        cal = DedupTransitivityCalibrator(pairs)
+        assert cal.calibrate(gamma) == 0
+
+    def test_max_degree_validation(self):
+        with pytest.raises(ValueError):
+            DedupTransitivityCalibrator([("a", "b")], max_degree=1)
+
+    def test_repeated_calibration_converges(self):
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        gamma = np.array([0.95, 0.9, 0.55])
+        cal = DedupTransitivityCalibrator(pairs)
+        cal.calibrate(gamma)
+        assert cal.calibrate(gamma) == 0  # fixed point after one repair
+
+
+class TestLinkageCalibrator:
+    def test_shared_left_closes_through_right_pairs(self):
+        cross = [("l1", "r1"), ("l1", "r2")]
+        right = [("r1", "r2")]
+        cal = LinkageTransitivityCalibrator(cross, [], right)
+        g_cross = np.array([0.9, 0.8])
+        g_right = np.array([0.55])
+        cal.calibrate(g_cross, None, g_right)
+        assert g_right[0] == pytest.approx(0.72)  # raised to the product
+
+    def test_shared_right_closes_through_left_pairs(self):
+        cross = [("l1", "r1"), ("l2", "r1")]
+        left = [("l1", "l2")]
+        cal = LinkageTransitivityCalibrator(cross, left, [])
+        g_cross = np.array([0.9, 0.8])
+        g_left = np.array([0.55])
+        cal.calibrate(g_cross, g_left, None)
+        assert g_left[0] == pytest.approx(0.72)
+
+    def test_missing_within_model_demotes_weaker_cross_edge(self):
+        # clean-table semantics: no within pairs -> closing γ = 0
+        cross = [("l1", "r1"), ("l1", "r2")]
+        cal = LinkageTransitivityCalibrator(cross, [], [])
+        g_cross = np.array([0.7, 0.95])
+        cal.calibrate(g_cross, None, None)
+        assert g_cross[0] == 0.0
+        assert g_cross[1] == pytest.approx(0.95)
+
+    def test_supported_one_to_many_survives(self):
+        # Fr knows r1,r2 are duplicates -> both cross edges stay
+        cross = [("l1", "r1"), ("l1", "r2")]
+        right = [("r1", "r2")]
+        cal = LinkageTransitivityCalibrator(cross, [], right)
+        g_cross = np.array([0.9, 0.85])
+        g_right = np.array([0.99])
+        assert cal.calibrate(g_cross, None, g_right) == 0
+        assert np.allclose(g_cross, [0.9, 0.85])
+
+    def test_adjustment_count_returned(self):
+        cross = [("l1", "r1"), ("l1", "r2"), ("l2", "r1"), ("l2", "r2")]
+        cal = LinkageTransitivityCalibrator(cross, [], [])
+        g_cross = np.array([0.9, 0.9, 0.9, 0.9])
+        assert cal.calibrate(g_cross, None, None) > 0

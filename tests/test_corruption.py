@@ -1,0 +1,129 @@
+"""Tests for repro.data.corruption."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruption import (
+    Corruptor,
+    abbreviate_tokens,
+    drop_token,
+    drop_value,
+    numeric_jitter,
+    ocr_noise,
+    swap_tokens,
+    synonym_replace,
+    truncate_value,
+    typo,
+)
+
+
+@pytest.fixture
+def crng():
+    return np.random.default_rng(99)
+
+
+class TestTypo:
+    def test_changes_string(self, crng):
+        out = typo(crng, "entity resolution", n_edits=2)
+        assert out != "entity resolution"
+
+    def test_edit_distance_bounded(self, crng):
+        # n single-character edits change length by at most n
+        for _ in range(50):
+            out = typo(crng, "abcdefgh", n_edits=1)
+            assert abs(len(out) - 8) <= 1
+
+    def test_empty_string_grows(self, crng):
+        assert len(typo(crng, "", n_edits=1)) == 1
+
+    def test_deterministic_given_seed(self):
+        a = typo(np.random.default_rng(5), "hello world", 2)
+        b = typo(np.random.default_rng(5), "hello world", 2)
+        assert a == b
+
+
+class TestTokenOps:
+    def test_drop_token_removes_one(self, crng):
+        out = drop_token(crng, "a b c")
+        assert len(out.split()) == 2
+
+    def test_drop_token_single_noop(self, crng):
+        assert drop_token(crng, "single") == "single"
+
+    def test_swap_tokens_preserves_multiset(self, crng):
+        out = swap_tokens(crng, "one two three")
+        assert sorted(out.split()) == ["one", "three", "two"]
+
+    def test_swap_single_noop(self, crng):
+        assert swap_tokens(crng, "one") == "one"
+
+    def test_abbreviate_keeps_first(self, crng):
+        out = abbreviate_tokens(crng, "journal of data management")
+        assert out.split()[0] == "journal"
+
+    def test_abbreviate_shortens(self, crng):
+        long = "proceedings of the international conference"
+        outs = {abbreviate_tokens(crng, long) for _ in range(20)}
+        assert any(len(o) < len(long) for o in outs)
+
+
+class TestOtherOps:
+    def test_ocr_noise_rate_one_changes_confusables(self, crng):
+        assert ocr_noise(crng, "0011", rate=1.0) == "ooll"  # 0→o, 1→l
+
+    def test_ocr_noise_rate_zero_noop(self, crng):
+        assert ocr_noise(crng, "0l5s", rate=0.0) == "0l5s"
+
+    def test_truncate_bounds(self, crng):
+        for _ in range(20):
+            out = truncate_value(crng, "abcdefghijklmnop", min_keep=8)
+            assert 8 <= len(out) <= 16
+
+    def test_truncate_short_noop(self, crng):
+        assert truncate_value(crng, "short", min_keep=8) == "short"
+
+    def test_synonym_replace(self, crng):
+        out = synonym_replace(crng, "sony digital camera x", {"digital camera": "digicam"})
+        assert out == "sony digicam x"
+
+    def test_synonym_longest_phrase_first(self, crng):
+        mapping = {"digital camera": "digicam", "camera": "cam"}
+        out = synonym_replace(crng, "digital camera", mapping)
+        assert out == "digicam"
+
+    def test_numeric_jitter_scales(self, crng):
+        values = [numeric_jitter(crng, 100.0, 0.05) for _ in range(200)]
+        assert 90 < np.mean(values) < 110
+
+    def test_drop_value(self, crng):
+        assert drop_value(crng, "anything") is None
+
+
+class TestCorruptor:
+    def test_none_passthrough(self, crng):
+        channel = Corruptor([(1.0, lambda r, v: typo(r, v))])
+        assert channel(crng, None) is None
+
+    def test_probability_zero_never_fires(self, crng):
+        channel = Corruptor([(0.0, lambda r, v: "CHANGED")])
+        assert channel(crng, "original") == "original"
+
+    def test_probability_one_always_fires(self, crng):
+        channel = Corruptor([(1.0, lambda r, v: v + "!")])
+        assert channel(crng, "x") == "x!"
+
+    def test_operators_compose_in_order(self, crng):
+        channel = Corruptor([(1.0, lambda r, v: v + "a"), (1.0, lambda r, v: v + "b")])
+        assert channel(crng, "") == "ab"
+
+    def test_operator_returning_none_short_circuits(self, crng):
+        channel = Corruptor([(1.0, drop_value), (1.0, lambda r, v: v + "x")])
+        assert channel(crng, "value") is None
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Corruptor([(1.5, lambda r, v: v)])
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            Corruptor([(0.5, "not callable")])

@@ -1,0 +1,130 @@
+"""Failure-injection tests: hostile inputs a production ER system survives.
+
+Each test feeds a pathological-but-plausible input through a public API and
+asserts either a clean error or a sane (finite, bounded) result — never a
+crash deep inside numpy or a silent NaN.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FeatureGenerator, Table, ZeroER, ZeroERError
+from repro.blocking import TokenOverlapBlocker
+from repro.core.exceptions import InitializationError
+from repro.text.similarity import jaccard, levenshtein_similarity
+
+
+class TestHostileFeatureMatrices:
+    def test_all_nan_column_survives(self, separable_mixture):
+        X, _ = separable_mixture
+        X = np.column_stack([X, np.full(X.shape[0], np.nan)])
+        model = ZeroER(transitivity=False).fit(X)
+        assert np.all(np.isfinite(model.match_scores_))
+
+    def test_constant_matrix_fails_cleanly(self):
+        X = np.full((50, 4), 0.7)
+        with pytest.raises(ZeroERError):
+            ZeroER(transitivity=False).fit(X)
+
+    def test_single_distinct_match_row(self, rng):
+        X = np.vstack([rng.normal(0.1, 0.02, (99, 4)), [[0.95] * 4]])
+        X = np.clip(X, 0, 1)
+        model = ZeroER(transitivity=False).fit(X)
+        assert np.all(np.isfinite(model.match_scores_))
+
+    def test_two_rows_minimum(self):
+        X = np.array([[0.9, 0.9], [0.1, 0.1]])
+        try:
+            model = ZeroER(transitivity=False).fit(X)
+            assert np.all(np.isfinite(model.match_scores_))
+        except ZeroERError:
+            pass  # clean refusal is also acceptable at n=2
+
+    def test_huge_magnitude_features_rejected_or_normalized(self, separable_mixture):
+        X, _ = separable_mixture
+        X = X.copy() * 1e9  # unnormalized input; min–max scaling must absorb it
+        model = ZeroER(transitivity=False).fit(X)
+        assert np.all(np.isfinite(model.match_scores_))
+
+    def test_inf_rejected(self, separable_mixture):
+        X, _ = separable_mixture
+        X = X.copy()
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError, match="infinite"):
+            ZeroER().fit(X)
+
+    def test_duplicate_rows_no_singularity_blowup(self, rng):
+        base = rng.random((20, 5))
+        X = np.vstack([base] * 10)  # massive exact duplication
+        try:
+            model = ZeroER(transitivity=False).fit(X)
+            assert np.all(np.isfinite(model.match_scores_))
+        except InitializationError:
+            pass
+
+
+class TestHostileTables:
+    def test_all_values_missing(self):
+        table = Table(
+            [{"id": i, "name": None, "x": None} for i in range(6)],
+            attributes=["name", "x"],
+        )
+        gen = FeatureGenerator().fit(table)
+        X = gen.transform(table, None, [(0, 1), (2, 3)])
+        assert np.all(np.isnan(X))
+
+    def test_unicode_and_emoji_values(self):
+        table = Table(
+            [
+                {"id": 1, "name": "café ☕ münchen"},
+                {"id": 2, "name": "cafe munchen"},
+                {"id": 3, "name": "日本語 テスト"},
+            ],
+            attributes=["name"],
+        )
+        pairs = [(1, 2), (1, 3)]
+        gen = FeatureGenerator().fit(table)
+        X = gen.transform(table, None, pairs)
+        finite = X[np.isfinite(X)]
+        assert np.all(finite >= 0) and np.all(finite <= 1 + 1e-9)
+        assert X[0].mean() > X[1].mean()  # the latin pair is more similar
+
+    def test_extremely_long_strings(self):
+        long_text = "word " * 2000
+        table = Table(
+            [{"id": 1, "d": long_text}, {"id": 2, "d": long_text + "extra"}],
+            attributes=["d"],
+        )
+        gen = FeatureGenerator().fit(table)
+        X = gen.transform(table, None, [(1, 2)])
+        assert np.all(np.isfinite(X))
+
+    def test_numeric_strings_with_garbage(self):
+        table = Table(
+            [{"id": 1, "price": "12.5"}, {"id": 2, "price": "n/a"}, {"id": 3, "price": "13"}],
+            attributes=["price"],
+        )
+        gen = FeatureGenerator().fit(table)
+        X = gen.transform(table, None, [(1, 3), (1, 2)])
+        assert np.all(np.isfinite(X[0]) | np.isnan(X[0]))
+
+    def test_blocking_on_whitespace_only_values(self):
+        table = Table(
+            [{"id": 1, "name": "   "}, {"id": 2, "name": "\t\n"}, {"id": 3, "name": "real name"}],
+            attributes=["name"],
+        )
+        assert TokenOverlapBlocker("name", max_df=1.0).block(table) == []
+
+
+class TestSimilarityEdgeCases:
+    def test_jaccard_of_huge_sets(self):
+        a = set(f"t{i}" for i in range(10000))
+        b = set(f"t{i}" for i in range(5000, 15000))
+        assert jaccard(a, b) == pytest.approx(5000 / 15000)
+
+    def test_levenshtein_empty_vs_long(self):
+        assert levenshtein_similarity("", "x" * 500) == 0.0
+
+    def test_levenshtein_long_identical(self):
+        s = "abcdefghij" * 50
+        assert levenshtein_similarity(s, s) == 1.0

@@ -1,0 +1,59 @@
+"""Tests for attribute type inference."""
+
+from repro.features.types import AttributeType, infer_attribute_type
+
+
+def test_numeric_ints():
+    assert infer_attribute_type([1, 2, 3]) is AttributeType.NUMERIC
+
+
+def test_numeric_strings():
+    assert infer_attribute_type(["1.5", "2", "3.25"]) is AttributeType.NUMERIC
+
+
+def test_numeric_with_missing():
+    assert infer_attribute_type([1.0, None, 2.0]) is AttributeType.NUMERIC
+
+
+def test_boolean_values():
+    assert infer_attribute_type([True, False, True]) is AttributeType.BOOLEAN
+
+
+def test_boolean_strings():
+    assert infer_attribute_type(["yes", "no", "yes"]) is AttributeType.BOOLEAN
+
+
+def test_zero_one_ints_are_numeric_not_boolean():
+    # {0, 1}-coded values without any true/yes marker stay numeric
+    assert infer_attribute_type([0, 1, 0, 1]) is AttributeType.NUMERIC
+
+
+def test_short_string():
+    assert infer_attribute_type(["chicago", "boston", "dallas"]) is AttributeType.SHORT_STRING
+
+
+def test_medium_string():
+    values = ["scalable entity matching", "parallel query processing"]
+    assert infer_attribute_type(values) is AttributeType.MEDIUM_STRING
+
+
+def test_long_string():
+    values = ["one two three four five six seven eight nine ten eleven twelve"] * 2
+    assert infer_attribute_type(values) is AttributeType.LONG_STRING
+
+
+def test_all_missing_defaults_short():
+    assert infer_attribute_type([None, None]) is AttributeType.SHORT_STRING
+
+
+def test_empty_defaults_short():
+    assert infer_attribute_type([]) is AttributeType.SHORT_STRING
+
+
+def test_mixed_numeric_and_text_is_string():
+    assert infer_attribute_type(["12", "abc"]) is AttributeType.SHORT_STRING
+
+
+def test_boundary_at_one_and_half_words():
+    # exactly 1.5 average words -> short
+    assert infer_attribute_type(["one", "two words"]) is AttributeType.SHORT_STRING

@@ -1,0 +1,90 @@
+"""End-to-end integration tests: generate → block → featurize → match.
+
+These run at the tiny scale so the whole file stays under a few seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FeatureGenerator, ZeroER, ZeroERLinkage, load_benchmark
+from repro.blocking import TokenOverlapBlocker, candidate_recall
+from repro.eval import f_score, precision_recall_f1, transitive_closure
+from repro.eval.harness import prepare_dataset, run_zeroer
+
+
+class TestFullPipeline:
+    def test_restaurants_end_to_end(self):
+        ds = load_benchmark("rest_fz", scale="tiny")
+        pairs = TokenOverlapBlocker("name").block(ds.left, ds.right)
+        assert candidate_recall(pairs, ds.matches) > 0.8
+        gen = FeatureGenerator().fit(ds.left, ds.right, ds.attributes)
+        X = gen.transform(ds.left, ds.right, pairs)
+        model = ZeroER(transitivity=False)
+        labels = model.fit_predict(X, gen.feature_groups_, pairs)
+        assert f_score(ds.labels_for(pairs), labels) > 0.8
+
+    def test_dedup_view_end_to_end(self):
+        ds = load_benchmark("rest_fz", scale="tiny")
+        merged, matches = ds.as_dedup()
+        pairs = TokenOverlapBlocker("name").block(merged)
+        gen = FeatureGenerator().fit(merged)
+        X = gen.transform(merged, None, pairs)
+        labels = ZeroER().fit_predict(X, gen.feature_groups_, pairs)
+        y = np.array(
+            [1.0 if ((a, b) in matches or (b, a) in matches) else 0.0 for a, b in pairs]
+        )
+        assert f_score(y, labels) > 0.7
+
+    def test_linkage_three_models_on_pub_ds(self):
+        prep = prepare_dataset("pub_ds", scale="tiny", seed=0)
+        res = run_zeroer(prep)
+        assert res["f1"] > 0.5
+
+    def test_match_scores_rank_gold_pairs_highly(self):
+        prep = prepare_dataset("pub_da", scale="tiny", seed=0)
+        res = run_zeroer(prep)
+        scores, y = res["scores"], prep.y
+        mean_match = scores[y == 1].mean()
+        mean_unmatch = scores[y == 0].mean()
+        assert mean_match > mean_unmatch + 0.5
+
+    def test_predicted_matches_cluster_into_entities(self):
+        prep = prepare_dataset("rest_fz", scale="tiny", seed=0)
+        res = run_zeroer(prep)
+        predicted_pairs = [p for p, l in zip(prep.pairs, res["labels"]) if l == 1]
+        closure = transitive_closure(predicted_pairs)
+        assert len(closure) >= len(predicted_pairs)
+
+    def test_unsupervised_beats_random_on_hard_products(self):
+        prep = prepare_dataset("prod_ag", scale="tiny", seed=0)
+        res = run_zeroer(prep)
+        # random guessing at the match rate would give F1 ≈ match fraction
+        assert res["f1"] > 5 * prep.y.mean()
+
+
+class TestCrossModelConsistency:
+    def test_zeroer_outperforms_naive_gmm_on_benchmark(self):
+        from repro.baselines import GaussianMixtureMatcher
+
+        prep = prepare_dataset("pub_da", scale="tiny", seed=0)
+        zeroer = run_zeroer(prep)["f1"]
+        gmm_pred = GaussianMixtureMatcher(random_state=0).fit_predict(prep.X)
+        gmm = f_score(prep.y, gmm_pred)
+        assert zeroer >= gmm
+
+    def test_supervised_with_labels_comparable_to_zeroer(self):
+        from repro.baselines import RandomForestClassifier, oversample_minority, train_test_split
+
+        prep = prepare_dataset("pub_da", scale="tiny", seed=0)
+        tr, te = train_test_split(len(prep.y), 0.5, random_state=0)
+        Xtr, ytr = oversample_minority(prep.X[tr], prep.y[tr], random_state=0)
+        rf = RandomForestClassifier(n_estimators=15, min_samples_leaf=2, random_state=0)
+        rf.fit(np.nan_to_num(Xtr, nan=0.5), ytr)
+        rf_f1 = f_score(prep.y[te], rf.predict(np.nan_to_num(prep.X[te], nan=0.5)))
+        zeroer_f1 = run_zeroer(prep)["f1"]
+        assert abs(zeroer_f1 - rf_f1) < 0.35  # same ballpark, zero labels
+
+    def test_per_dataset_difficulty_ordering(self):
+        easy = run_zeroer(prepare_dataset("rest_fz", scale="tiny", seed=0))["f1"]
+        hard = run_zeroer(prepare_dataset("prod_ag", scale="tiny", seed=0))["f1"]
+        assert easy > hard

@@ -1,0 +1,59 @@
+"""Tests for repro.data.io CSV round-tripping."""
+
+import pytest
+
+from repro.data.io import read_csv, write_csv
+from repro.data.table import Table
+
+
+def test_round_trip(tmp_path, people_table):
+    path = tmp_path / "people.csv"
+    write_csv(people_table, path)
+    back = read_csv(path)
+    assert back == people_table
+
+
+def test_none_becomes_empty_cell_and_back(tmp_path):
+    t = Table([{"id": 1, "a": None}], attributes=["a"])
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    assert read_csv(path).get(1)["a"] is None
+
+
+def test_type_recovery(tmp_path):
+    t = Table([{"id": 1, "n": 42, "f": 2.5, "s": "text"}], attributes=["n", "f", "s"])
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    rec = read_csv(path).get(1)
+    assert rec["n"] == 42 and isinstance(rec["n"], int)
+    assert rec["f"] == 2.5 and isinstance(rec["f"], float)
+    assert rec["s"] == "text"
+
+
+def test_id_column_first(tmp_path, people_table):
+    path = tmp_path / "people.csv"
+    write_csv(people_table, path)
+    header = path.read_text().splitlines()[0]
+    assert header.startswith("id,")
+
+
+def test_read_missing_id_column(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ValueError, match="no 'id' column"):
+        read_csv(path)
+
+
+def test_read_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_csv(path)
+
+
+def test_custom_id_attr(tmp_path):
+    t = Table([{"key": "x", "v": 1}], id_attr="key")
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    back = read_csv(path, id_attr="key")
+    assert back.get("x")["v"] == 1

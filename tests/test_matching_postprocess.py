@@ -1,0 +1,65 @@
+"""Tests for match-set post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.eval.matching import greedy_one_to_one, score_threshold_matches
+
+
+class TestScoreThreshold:
+    def test_basic(self):
+        pairs = [("a", "x"), ("b", "y"), ("c", "z")]
+        scores = np.array([0.9, 0.4, 0.6])
+        assert score_threshold_matches(pairs, scores) == [("a", "x"), ("c", "z")]
+
+    def test_custom_threshold(self):
+        pairs = [("a", "x")]
+        assert score_threshold_matches(pairs, np.array([0.3]), threshold=0.2) == [("a", "x")]
+
+    def test_strictly_greater(self):
+        assert score_threshold_matches([("a", "x")], np.array([0.5])) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="pairs"):
+            score_threshold_matches([("a", "x")], np.array([0.5, 0.6]))
+        with pytest.raises(ValueError, match="threshold"):
+            score_threshold_matches([("a", "x")], np.array([0.5]), threshold=2.0)
+
+
+class TestGreedyOneToOne:
+    def test_conflict_resolved_by_score(self):
+        pairs = [("a", "x"), ("a", "y"), ("b", "x")]
+        scores = np.array([0.95, 0.8, 0.9])
+        out = greedy_one_to_one(pairs, scores)
+        assert out == [("a", "x")]  # both alternatives blocked by the winner
+
+    def test_non_conflicting_pairs_all_kept(self):
+        pairs = [("a", "x"), ("b", "y")]
+        scores = np.array([0.7, 0.9])
+        out = greedy_one_to_one(pairs, scores)
+        assert set(out) == set(pairs)
+        assert out[0] == ("b", "y")  # descending score order
+
+    def test_threshold_filters(self):
+        pairs = [("a", "x"), ("b", "y")]
+        scores = np.array([0.9, 0.4])
+        assert greedy_one_to_one(pairs, scores) == [("a", "x")]
+
+    def test_each_endpoint_used_once(self):
+        rng = np.random.default_rng(0)
+        pairs = [(f"l{i % 5}", f"r{i % 7}") for i in range(35)]
+        scores = rng.random(35)
+        out = greedy_one_to_one(pairs, scores, threshold=0.0)
+        lefts = [a for a, _ in out]
+        rights = [b for _, b in out]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_deterministic_tie_break(self):
+        pairs = [("a", "x"), ("b", "y")]
+        scores = np.array([0.8, 0.8])
+        assert greedy_one_to_one(pairs, scores)[0] == ("a", "x")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_one_to_one([("a", "x")], np.array([0.5, 0.5]))

@@ -1,0 +1,61 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import confusion_counts, f_score, precision_recall_f1
+
+
+class TestConfusionCounts:
+    def test_all_quadrants(self):
+        counts = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert counts == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            confusion_counts([0, 2], [0, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            confusion_counts([0, 1], [0, 1, 1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            confusion_counts([[0, 1]], [[0, 1]])
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert precision_recall_f1([1, 0, 1], [1, 0, 1]) == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        # tp=2, fp=1, fn=2 -> P=2/3, R=1/2, F1=4/7
+        y_true = [1, 1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 0, 1, 0]
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(1 / 2)
+        assert f1 == pytest.approx(4 / 7)
+
+    def test_nothing_predicted_positive(self):
+        p, r, f1 = precision_recall_f1([1, 0], [0, 0])
+        assert p == 1.0 and r == 0.0 and f1 == 0.0
+
+    def test_no_true_positives_to_find(self):
+        p, r, f1 = precision_recall_f1([0, 0], [0, 0])
+        assert p == 1.0 and r == 1.0 and f1 == 1.0
+
+    def test_f_score_shortcut(self):
+        assert f_score([1, 0], [1, 0]) == 1.0
+
+    def test_numpy_inputs(self):
+        assert f_score(np.array([1.0, 0.0]), np.array([1, 0])) == 1.0
+
+    def test_imbalanced_case(self):
+        # 1000 negatives predicted fine; 1 of 10 positives found
+        y_true = [1] * 10 + [0] * 1000
+        y_pred = [1] + [0] * 9 + [0] * 1000
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == 1.0
+        assert r == pytest.approx(0.1)
+        assert f1 == pytest.approx(2 * 0.1 / 1.1)

@@ -1,0 +1,78 @@
+"""Tests for min-max normalization and NaN imputation."""
+
+import numpy as np
+import pytest
+
+from repro.features.normalize import MinMaxNormalizer, impute_nan
+
+
+class TestMinMaxNormalizer:
+    def test_scales_to_unit_interval(self, rng):
+        X = rng.normal(5.0, 3.0, size=(50, 4))
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.nanmin(out) == pytest.approx(0.0)
+        assert np.nanmax(out) == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.array([[3.0, 1.0], [3.0, 2.0]])
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.all(out[:, 0] == 0.0)
+
+    def test_nan_cells_stay_nan(self):
+        X = np.array([[0.0, np.nan], [1.0, 2.0], [2.0, 4.0]])
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.isnan(out[0, 1])
+        assert out[2, 0] == 1.0
+
+    def test_transform_held_out_uses_training_stats(self):
+        train = np.array([[0.0], [10.0]])
+        norm = MinMaxNormalizer().fit(train)
+        assert norm.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_out_of_range_clipped(self):
+        norm = MinMaxNormalizer().fit(np.array([[0.0], [1.0]]))
+        out = norm.transform(np.array([[2.0], [-1.0]]))
+        assert out.ravel().tolist() == [1.0, 0.0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            MinMaxNormalizer().transform(np.ones((2, 2)))
+
+    def test_wrong_width_raises(self):
+        norm = MinMaxNormalizer().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="features"):
+            norm.transform(np.ones((3, 5)))
+
+    def test_all_nan_column_transforms_to_constant_zero(self):
+        # an all-NaN column has zero span, so it maps to the constant 0
+        X = np.array([[np.nan, 1.0], [np.nan, 2.0]])
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.all(out[:, 0] == 0.0)
+
+
+class TestImputeNan:
+    def test_fills_with_column_mean(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        out = impute_nan(X)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(6.0)
+
+    def test_no_nan_is_identity(self, rng):
+        X = rng.random((10, 3))
+        assert np.array_equal(impute_nan(X), X)
+
+    def test_all_nan_column_gets_half(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = impute_nan(X)
+        assert np.all(out == 0.5)
+
+    def test_explicit_means(self):
+        X = np.array([[np.nan, 1.0]])
+        out = impute_nan(X, column_means=np.array([0.25, 0.0]))
+        assert out[0, 0] == 0.25
+        assert out[0, 1] == 1.0  # existing values untouched
+
+    def test_does_not_mutate_input(self):
+        X = np.array([[np.nan, 1.0]])
+        impute_nan(X)
+        assert np.isnan(X[0, 0])

@@ -1,0 +1,60 @@
+"""Tests for Soundex and phonetic matching."""
+
+import math
+
+import pytest
+
+from repro.text.phonetic import phonetic_match, soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("Robert", "r163"),
+            ("Rupert", "r163"),
+            ("Ashcraft", "a261"),
+            ("Ashcroft", "a261"),
+            ("Tymczak", "t522"),
+            ("Pfister", "p236"),
+            ("Honeyman", "h555"),
+        ],
+    )
+    def test_reference_codes(self, name, code):
+        # the canonical U.S. National Archives examples
+        assert soundex(name) == code
+
+    def test_sounds_alike_names_collide(self):
+        assert soundex("smith") == soundex("smyth")
+
+    def test_different_names_differ(self):
+        assert soundex("washington") != soundex("jefferson")
+
+    def test_short_name_zero_padded(self):
+        assert soundex("lee") == "l000"
+
+    def test_ignores_non_letters(self):
+        assert soundex("o'brien") == soundex("obrien")
+
+    def test_case_insensitive(self):
+        assert soundex("MILLER") == soundex("miller")
+
+    def test_none_and_empty(self):
+        assert soundex(None) is None
+        assert soundex("123") is None
+
+    def test_always_four_chars(self):
+        for name in ("a", "ab", "abcdefghij", "zzzzz"):
+            assert len(soundex(name)) == 4
+
+
+class TestPhoneticMatch:
+    def test_match(self):
+        assert phonetic_match("smith", "smyth") == 1.0
+
+    def test_mismatch(self):
+        assert phonetic_match("smith", "jones") == 0.0
+
+    def test_missing_is_nan(self):
+        assert math.isnan(phonetic_match(None, "smith"))
+        assert math.isnan(phonetic_match("", "smith"))

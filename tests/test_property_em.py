@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) on core EM invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import ZeroERConfig
+from repro.core.covariance import weighted_covariance, weighted_mean
+from repro.core.em import EMRunner
+from repro.core.exceptions import ZeroERError
+from repro.core.regularization import penalty_diagonal
+
+
+def em_matrices(min_rows=30, max_rows=80, d=3):
+    """Random feature matrices in [0, 1] with some spread."""
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_rows, max_rows), st.just(d)),
+        elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+    ).filter(lambda X: np.ptp(np.linalg.norm(X, axis=1)) > 0.3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(em_matrices())
+def test_e_step_posteriors_valid_on_arbitrary_data(X):
+    cfg = ZeroERConfig(transitivity=False, max_iter=5)
+    try:
+        runner = EMRunner(X, None, cfg)
+    except ZeroERError:
+        return  # degenerate init is allowed to fail loudly
+    runner.m_step()
+    ll = runner.e_step()
+    assert np.isfinite(ll)
+    assert np.all(runner.gamma >= 0.0) and np.all(runner.gamma <= 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(em_matrices())
+def test_run_always_terminates_with_valid_state(X):
+    cfg = ZeroERConfig(transitivity=False, max_iter=15)
+    try:
+        runner = EMRunner(X, None, cfg)
+    except ZeroERError:
+        return
+    history = runner.run()
+    assert history.n_iterations <= 15
+    assert np.all(np.isfinite(runner.gamma))
+    assert 0.0 < runner.params.prior_match < 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(em_matrices(), st.floats(0.01, 1.0))
+def test_regularized_variances_dominate_unregularized(X, kappa):
+    base = ZeroERConfig(transitivity=False, regularization="none")
+    reg = ZeroERConfig(transitivity=False, regularization="adaptive", kappa=kappa)
+    try:
+        r1 = EMRunner(X, None, base)
+        r2 = EMRunner(X, None, reg)
+    except ZeroERError:
+        return
+    p1, p2 = r1.m_step(), r2.m_step()
+    assert np.all(p2.match.variances() >= p1.match.variances() - 1e-12)
+    assert np.all(p2.unmatch.variances() >= p1.unmatch.variances() - 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(5, 40), st.just(4)),
+        elements=st.floats(-5, 5, allow_nan=False, width=32),
+    ),
+    st.integers(0, 2**31 - 1),
+)
+def test_weighted_covariance_psd_for_any_weights(X, seed):
+    w = np.random.default_rng(seed).random(X.shape[0]) + 1e-6
+    mean = weighted_mean(X, w)
+    S = weighted_covariance(X, w, mean)
+    eigenvalues = np.linalg.eigvalsh(S)
+    assert np.all(eigenvalues >= -1e-8)
+    assert np.allclose(S, S.T)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.just(6), elements=st.floats(0, 1, allow_nan=False, width=32)),
+    arrays(np.float64, st.just(6), elements=st.floats(0, 1, allow_nan=False, width=32)),
+    st.floats(0.0, 2.0),
+)
+def test_penalty_diagonal_nonnegative_and_scales_with_kappa(mu_m, mu_u, kappa):
+    cfg = ZeroERConfig(transitivity=False, regularization="adaptive", kappa=kappa)
+    K = penalty_diagonal(cfg, mu_m, mu_u)
+    assert np.all(K >= 0.0)
+    if kappa > 0:
+        double = penalty_diagonal(cfg.replace(kappa=2 * kappa), mu_m, mu_u)
+        assert np.allclose(double, 2 * K)
+
+
+@settings(max_examples=20, deadline=None)
+@given(em_matrices(), st.integers(0, 1000))
+def test_transitivity_calibration_preserves_probability_range(X, seed):
+    from repro.core.transitivity import DedupTransitivityCalibrator
+
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    nodes = [f"n{i}" for i in range(max(4, n // 4))]
+    pairs = [
+        (nodes[rng.integers(len(nodes))], nodes[rng.integers(len(nodes))]) for _ in range(n)
+    ]
+    pairs = [(a, b) for a, b in pairs if a != b]
+    gamma = rng.random(len(pairs))
+    DedupTransitivityCalibrator(pairs).calibrate(gamma)
+    assert np.all(gamma >= 0.0) and np.all(gamma <= 1.0)

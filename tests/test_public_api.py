@@ -1,0 +1,47 @@
+"""Public API surface tests: the imports README and DESIGN.md promise."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_autoer_alias():
+    # the arXiv preprint's name for the same model
+    assert repro.AutoER is repro.ZeroER
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+def test_subpackages_importable():
+    import repro.baselines
+    import repro.blocking
+    import repro.core
+    import repro.data
+    import repro.eval
+    import repro.features
+    import repro.pipeline
+    import repro.text
+    import repro.utils  # noqa: F401
+
+
+def test_readme_quickstart_names_exist():
+    # the exact names used in README's quickstart snippet
+    from repro import FeatureGenerator, ZeroER, load_benchmark  # noqa: F401
+    from repro.blocking import TokenOverlapBlocker  # noqa: F401
+    from repro.eval import precision_recall_f1  # noqa: F401
+
+
+def test_every_public_callable_has_docstring():
+    import inspect
+
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not inspect.getdoc(obj):
+            missing.append(name)
+    assert not missing, f"undocumented public API: {missing}"

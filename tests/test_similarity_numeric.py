@@ -1,0 +1,87 @@
+"""Tests for exact-match and numeric similarity measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    exact_match,
+    numeric_absolute_similarity,
+    numeric_relative_similarity,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestExactMatch:
+    def test_equal_strings(self):
+        assert exact_match("abc", "abc") == 1.0
+
+    def test_unequal(self):
+        assert exact_match("abc", "abd") == 0.0
+
+    def test_numbers_compared_as_strings(self):
+        assert exact_match(1995, 1995) == 1.0
+        assert exact_match(1995, "1995") == 1.0
+
+    def test_missing(self):
+        assert math.isnan(exact_match(None, "x"))
+        assert math.isnan(exact_match("x", None))
+
+
+class TestNumericAbsolute:
+    def test_equal_values(self):
+        assert numeric_absolute_similarity(3.0, 3.0) == 1.0
+
+    def test_decay_at_scale(self):
+        assert numeric_absolute_similarity(0.0, 1.0, scale=1.0) == pytest.approx(math.exp(-1))
+
+    def test_scale_controls_decay(self):
+        near = numeric_absolute_similarity(0.0, 5.0, scale=100.0)
+        far = numeric_absolute_similarity(0.0, 5.0, scale=1.0)
+        assert near > far
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            numeric_absolute_similarity(1.0, 2.0, scale=0.0)
+
+    def test_unparseable_is_nan(self):
+        assert math.isnan(numeric_absolute_similarity("abc", 1.0))
+
+    def test_missing_is_nan(self):
+        assert math.isnan(numeric_absolute_similarity(None, 1.0))
+
+    @given(finite_floats, finite_floats)
+    def test_bounded_and_symmetric(self, a, b):
+        val = numeric_absolute_similarity(a, b, scale=10.0)
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(numeric_absolute_similarity(b, a, scale=10.0))
+
+    @given(finite_floats)
+    def test_identity_scores_one(self, a):
+        assert numeric_absolute_similarity(a, a, scale=5.0) == 1.0
+
+
+class TestNumericRelative:
+    def test_known_value(self):
+        assert numeric_relative_similarity(100.0, 90.0) == pytest.approx(0.9)
+
+    def test_both_zero(self):
+        assert numeric_relative_similarity(0.0, 0.0) == 1.0
+
+    def test_floor_at_zero(self):
+        assert numeric_relative_similarity(1.0, -100.0) == 0.0
+
+    def test_string_numbers_parse(self):
+        assert numeric_relative_similarity("10", "10") == 1.0
+
+    def test_missing_is_nan(self):
+        assert math.isnan(numeric_relative_similarity(None, 3))
+
+    @given(finite_floats, finite_floats)
+    def test_bounded_and_symmetric(self, a, b):
+        val = numeric_relative_similarity(a, b)
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(numeric_relative_similarity(b, a))

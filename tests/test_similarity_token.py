@@ -1,0 +1,146 @@
+"""Tests for token-based similarity measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    build_idf,
+    cosine,
+    dice,
+    jaccard,
+    monge_elkan,
+    overlap_coefficient,
+    tfidf_cosine,
+)
+
+token_sets = st.sets(st.text(alphabet="abcde", min_size=1, max_size=4), max_size=8)
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard({"x", "y"}, {"x", "y"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(set(), {"a"}) == 0.0
+
+    def test_missing_is_nan(self):
+        assert math.isnan(jaccard(None, {"a"}))
+
+    def test_accepts_lists_with_duplicates(self):
+        assert jaccard(["a", "a", "b"], ["b", "b"]) == pytest.approx(0.5)
+
+    @given(token_sets, token_sets)
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(token_sets, token_sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(token_sets)
+    def test_self_similarity_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+class TestCosineDiceOverlap:
+    def test_cosine_known(self):
+        # |A∩B|=1, |A|=2, |B|=2 → 1/2
+        assert cosine({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_dice_known(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_overlap_known(self):
+        assert overlap_coefficient({"a", "b", "c"}, {"b", "c"}) == pytest.approx(1.0)
+
+    @given(token_sets, token_sets)
+    def test_all_symmetric_and_bounded(self, a, b):
+        for func in (cosine, dice, overlap_coefficient):
+            val = func(a, b)
+            assert 0.0 <= val <= 1.0
+            assert val == pytest.approx(func(b, a))
+
+    @given(token_sets, token_sets)
+    def test_ordering_overlap_ge_dice(self, a, b):
+        # overlap divides by min size, dice by mean size → overlap >= dice
+        assert overlap_coefficient(a, b) >= dice(a, b) - 1e-12
+
+    @given(token_sets, token_sets)
+    def test_ordering_dice_ge_jaccard(self, a, b):
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    def test_nan_for_missing(self):
+        for func in (cosine, dice, overlap_coefficient):
+            assert math.isnan(func(None, {"a"}))
+
+
+class TestTfidf:
+    def test_idf_rare_tokens_weigh_more(self):
+        idf = build_idf([["common", "rare"], ["common"], ["common", "x"]])
+        assert idf["rare"] > idf["common"]
+
+    def test_idf_positive(self):
+        idf = build_idf([["a"], ["a"], ["a"]])
+        assert all(v > 0 for v in idf.values())
+
+    def test_identical_docs_score_one(self):
+        idf = build_idf([["a", "b"], ["c"]])
+        assert tfidf_cosine(["a", "b"], ["a", "b"], idf) == pytest.approx(1.0)
+
+    def test_disjoint_docs_score_zero(self):
+        idf = build_idf([["a"], ["b"]])
+        assert tfidf_cosine(["a"], ["b"], idf) == 0.0
+
+    def test_shared_rare_token_beats_shared_common_token(self):
+        corpus = [["common", "rare"]] + [["common", f"w{i}"] for i in range(20)]
+        idf = build_idf(corpus)
+        rare_pair = tfidf_cosine(["rare", "x1"], ["rare", "x2"], idf)
+        common_pair = tfidf_cosine(["common", "x1"], ["common", "x2"], idf)
+        assert rare_pair > common_pair
+
+    def test_unknown_tokens_use_default(self):
+        idf = build_idf([["a"]])
+        value = tfidf_cosine(["zzz"], ["zzz"], idf)
+        assert value == pytest.approx(1.0)
+
+    def test_missing_nan(self):
+        assert math.isnan(tfidf_cosine(None, ["a"], {}))
+
+
+class TestMongeElkan:
+    def test_identical_token_lists(self):
+        assert monge_elkan(["deep", "learning"], ["deep", "learning"]) == pytest.approx(1.0)
+
+    def test_word_reorder_invariant(self):
+        a = monge_elkan(["entity", "resolution"], ["resolution", "entity"])
+        assert a == pytest.approx(1.0)
+
+    def test_symmetric_by_default(self):
+        a = monge_elkan(["abc"], ["abc", "xyz"])
+        b = monge_elkan(["abc", "xyz"], ["abc"])
+        assert a == pytest.approx(b)
+
+    def test_asymmetric_mode(self):
+        a = monge_elkan(["abc"], ["abc", "zzz"], symmetric=False)
+        assert a == pytest.approx(1.0)  # every token of A matches perfectly
+
+    def test_partial_tokens_score_between(self):
+        val = monge_elkan(["smith", "john"], ["smyth", "jon"])
+        assert 0.5 < val < 1.0
+
+    def test_empty_and_missing(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan([], ["a"]) == 0.0
+        assert math.isnan(monge_elkan(None, ["a"]))

@@ -1,0 +1,119 @@
+"""Tests for repro.data.table."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+
+
+class TestConstruction:
+    def test_basic(self, people_table):
+        assert len(people_table) == 5
+        assert people_table.attributes == ["name", "city", "age"]
+
+    def test_missing_attributes_default_none(self):
+        t = Table([{"id": 1, "a": "x"}, {"id": 2}], attributes=["a"])
+        assert t.get(2)["a"] is None
+
+    def test_attribute_order_inferred_from_first_record(self):
+        t = Table([{"id": 1, "b": 2, "a": 1}])
+        assert t.attributes == ["b", "a"]
+
+    def test_rejects_missing_id(self):
+        with pytest.raises(ValueError, match="missing the id"):
+            Table([{"name": "x"}])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table([{"id": 1}, {"id": 1}])
+
+    def test_custom_id_attribute(self):
+        t = Table([{"key": "k1", "v": 2}], id_attr="key")
+        assert t.get("k1")["v"] == 2
+
+    def test_empty_table(self):
+        t = Table([], attributes=["a"])
+        assert len(t) == 0
+        assert t.ids() == []
+
+
+class TestAccess:
+    def test_ids_in_row_order(self, people_table):
+        assert people_table.ids() == ["a", "b", "c", "d", "e"]
+
+    def test_get_by_id(self, people_table):
+        assert people_table.get("c")["name"] == "bob dylan"
+
+    def test_get_unknown_raises(self, people_table):
+        with pytest.raises(KeyError):
+            people_table.get("zzz")
+
+    def test_contains(self, people_table):
+        assert "a" in people_table
+        assert "zzz" not in people_table
+
+    def test_column(self, people_table):
+        assert people_table.column("city")[:2] == ["chicago", "chicago"]
+
+    def test_column_unknown_raises(self, people_table):
+        with pytest.raises(KeyError):
+            people_table.column("height")
+
+    def test_iteration_and_indexing(self, people_table):
+        assert people_table[0]["id"] == "a"
+        assert [r["id"] for r in people_table] == people_table.ids()
+
+
+class TestRelationalOps:
+    def test_select(self, people_table):
+        chicago = people_table.select(lambda r: r["city"] == "chicago")
+        assert chicago.ids() == ["a", "b"]
+
+    def test_select_preserves_attributes(self, people_table):
+        out = people_table.select(lambda r: True)
+        assert out.attributes == people_table.attributes
+
+    def test_project(self, people_table):
+        out = people_table.project(["name"])
+        assert out.attributes == ["name"]
+        assert "city" not in out[0]
+
+    def test_project_unknown_raises(self, people_table):
+        with pytest.raises(KeyError):
+            people_table.project(["height"])
+
+    def test_head(self, people_table):
+        assert people_table.head(2).ids() == ["a", "b"]
+
+    def test_head_beyond_length(self, people_table):
+        assert len(people_table.head(100)) == 5
+
+    def test_sample_deterministic(self, people_table):
+        rng = np.random.default_rng(0)
+        s1 = people_table.sample(3, rng)
+        s2 = people_table.sample(3, np.random.default_rng(0))
+        assert s1.ids() == s2.ids()
+        assert len(s1) == 3
+
+    def test_sample_too_many_raises(self, people_table):
+        with pytest.raises(ValueError, match="cannot sample"):
+            people_table.sample(10, np.random.default_rng(0))
+
+    def test_with_column_adds(self, people_table):
+        out = people_table.with_column("flag", [1, 2, 3, 4, 5])
+        assert out.column("flag") == [1, 2, 3, 4, 5]
+        assert people_table.attributes == ["name", "city", "age"]  # original untouched
+
+    def test_with_column_replaces(self, people_table):
+        out = people_table.with_column("age", [1, 1, 1, 1, 1])
+        assert out.column("age") == [1, 1, 1, 1, 1]
+        assert out.attributes == people_table.attributes
+
+    def test_with_column_length_mismatch(self, people_table):
+        with pytest.raises(ValueError, match="values for"):
+            people_table.with_column("flag", [1])
+
+    def test_equality(self, people_table):
+        same = Table(list(people_table), attributes=people_table.attributes)
+        assert same == people_table
+        assert people_table != people_table.head(2)

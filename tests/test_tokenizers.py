@@ -1,0 +1,87 @@
+"""Tests for repro.text.tokenizers."""
+
+import pytest
+
+from repro.text.tokenizers import (
+    AlnumTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    WhitespaceTokenizer,
+)
+
+
+class TestQgramTokenizer:
+    def test_padded_trigrams(self):
+        assert QgramTokenizer(3).tokenize("abc") == ["##a", "#ab", "abc", "bc$", "c$$"]
+
+    def test_unpadded(self):
+        assert QgramTokenizer(3, padded=False).tokenize("abcd") == ["abc", "bcd"]
+
+    def test_short_string_unpadded(self):
+        assert QgramTokenizer(5, padded=False).tokenize("ab") == ["ab"]
+
+    def test_lowercases_by_default(self):
+        assert QgramTokenizer(2, padded=False).tokenize("AB") == ["ab"]
+
+    def test_q1_is_characters(self):
+        assert QgramTokenizer(1, padded=False).tokenize("abc") == ["a", "b", "c"]
+
+    def test_none_is_empty(self):
+        assert QgramTokenizer(3).tokenize(None) == []
+
+    def test_empty_string(self):
+        assert QgramTokenizer(3).tokenize("") == []
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="q must be"):
+            QgramTokenizer(0)
+
+    def test_single_edit_disturbs_at_most_q_grams(self):
+        # the property that makes q-gram blocking typo-tolerant
+        a = set(QgramTokenizer(3).tokenize("similarity"))
+        b = set(QgramTokenizer(3).tokenize("simiIarity".lower()))
+        assert len(a - b) <= 3
+
+
+class TestWhitespaceTokenizer:
+    def test_splits_on_runs(self):
+        assert WhitespaceTokenizer().tokenize("a  b\tc") == ["a", "b", "c"]
+
+    def test_lowercases(self):
+        assert WhitespaceTokenizer().tokenize("Deep Learning") == ["deep", "learning"]
+
+    def test_preserve_case(self):
+        assert WhitespaceTokenizer(lowercase=False).tokenize("Deep") == ["Deep"]
+
+    def test_none(self):
+        assert WhitespaceTokenizer().tokenize(None) == []
+
+
+class TestAlnumTokenizer:
+    def test_strips_punctuation(self):
+        assert AlnumTokenizer().tokenize("O'Neil & Sons, Ltd.") == ["o", "neil", "sons", "ltd"]
+
+    def test_keeps_digits(self):
+        assert AlnumTokenizer().tokenize("model dsc-w55") == ["model", "dsc", "w55"]
+
+    def test_case_preserving_mode(self):
+        assert AlnumTokenizer(lowercase=False).tokenize("Ab-1") == ["Ab", "1"]
+
+    def test_none(self):
+        assert AlnumTokenizer().tokenize(None) == []
+
+
+class TestDelimiterTokenizer:
+    def test_comma_split_with_strip(self):
+        assert DelimiterTokenizer(",").tokenize("a, b ,c") == ["a", "b", "c"]
+
+    def test_drops_empty_segments(self):
+        assert DelimiterTokenizer(",").tokenize("a,,b") == ["a", "b"]
+
+    def test_rejects_empty_delimiter(self):
+        with pytest.raises(ValueError):
+            DelimiterTokenizer("")
+
+    def test_callable_interface(self):
+        tok = DelimiterTokenizer(";")
+        assert tok("x;y") == ["x", "y"]

@@ -1,0 +1,34 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+
+
+def test_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_int_seed_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_numpy_integer_accepted():
+    assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+def test_rejects_strings():
+    with pytest.raises(TypeError, match="random_state"):
+        ensure_rng("seed")

@@ -1,0 +1,108 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_feature_groups,
+    check_feature_matrix,
+    check_posterior,
+    check_probability,
+)
+
+
+class TestCheckFeatureMatrix:
+    def test_accepts_clean_matrix(self):
+        X = check_feature_matrix([[0.1, 0.2], [0.3, 0.4]])
+        assert X.shape == (2, 2)
+        assert X.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_feature_matrix([1.0, 2.0])
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            check_feature_matrix(np.empty((0, 3)))
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError, match="at least one feature"):
+            check_feature_matrix(np.empty((3, 0)))
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_feature_matrix([[0.1, np.nan]])
+
+    def test_allows_nan_when_requested(self):
+        X = check_feature_matrix([[0.1, np.nan]], allow_nan=True)
+        assert np.isnan(X[0, 1])
+
+    def test_rejects_inf_even_with_allow_nan(self):
+        with pytest.raises(ValueError, match="infinite"):
+            check_feature_matrix([[0.1, np.inf]], allow_nan=True)
+
+    def test_error_uses_argument_name(self):
+        with pytest.raises(ValueError, match="my_matrix"):
+            check_feature_matrix([1.0], name="my_matrix")
+
+
+class TestCheckFeatureGroups:
+    def test_none_expands_to_singletons(self):
+        assert check_feature_groups(None, 3) == [[0], [1], [2]]
+
+    def test_valid_partition_passes(self):
+        assert check_feature_groups([[0, 2], [1]], 3) == [[0, 2], [1]]
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_feature_groups([[0, 1], []], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_feature_groups([[0, 5]], 2)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="more than one group"):
+            check_feature_groups([[0, 1], [1]], 2)
+
+    def test_rejects_incomplete_cover(self):
+        with pytest.raises(ValueError, match="missing"):
+            check_feature_groups([[0]], 2)
+
+
+class TestCheckPosterior:
+    def test_valid(self):
+        out = check_posterior([0.0, 0.5, 1.0])
+        assert out.shape == (3,)
+
+    def test_rejects_out_of_unit_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_posterior([0.5, 1.2])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_posterior([0.5, float("nan")])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="expected 5"):
+            check_posterior([0.5], n_rows=5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_posterior([[0.5]])
+
+
+class TestCheckProbability:
+    def test_inclusive_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p", inclusive=False)
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="must be in"):
+            check_probability(1.5, "p")
