@@ -9,6 +9,9 @@ crossovers — is what each bench checks.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.baselines import (
@@ -158,6 +161,20 @@ def run_unsupervised(prep: PreparedDataset, method: str, seed: int = 0,
 def one_shot(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def write_bench_report(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the benchmarks.
+
+    Machine-readable companion to the printed tables: benches that feed
+    dashboards or regression tracking dump their measured rows here so the
+    numbers survive the terminal session.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def emit(capfd, text: str) -> None:

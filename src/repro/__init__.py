@@ -16,7 +16,8 @@ Subpackages: :mod:`repro.core` (the generative model), :mod:`repro.text`
 (similarity functions), :mod:`repro.features` (Magellan-style feature
 generation), :mod:`repro.blocking`, :mod:`repro.data` (tables + benchmark
 generators), :mod:`repro.baselines` (from-scratch supervised/unsupervised
-baselines), :mod:`repro.eval` (metrics + experiment harness).
+baselines), :mod:`repro.eval` (metrics + experiment harness),
+:mod:`repro.incremental` (frozen-model artifacts + streaming resolution).
 """
 
 from repro.core import (
@@ -30,6 +31,13 @@ from repro.core import (
 )
 from repro.data import ERDataset, Table, load_benchmark
 from repro.features import FeatureGenerator
+from repro.incremental import (
+    EntityStore,
+    IncrementalResolver,
+    IncrementalTokenIndex,
+    load_artifacts,
+    save_artifacts,
+)
 from repro.pipeline import ERPipeline, ERResult
 
 #: The paper's arXiv preprint used the name AutoER; same model.
@@ -52,5 +60,10 @@ __all__ = [
     "ERPipeline",
     "ERResult",
     "load_benchmark",
+    "EntityStore",
+    "IncrementalResolver",
+    "IncrementalTokenIndex",
+    "save_artifacts",
+    "load_artifacts",
     "__version__",
 ]

@@ -1,14 +1,28 @@
 """Command-line entity resolution: ``python -m repro``.
 
-Runs the full unsupervised pipeline on CSV inputs and writes the scored
-matches to a CSV — the zero-to-matches path for a user who has two files
-and no labels:
+Three subcommands cover the batch and incremental workflows:
 
-    python -m repro --left a.csv --right b.csv --block-on name -o matches.csv
-    python -m repro --left dirty.csv --block-on name -o duplicates.csv  # dedup
+``run``
+    The full unsupervised batch pipeline on CSV inputs, scored matches to a
+    CSV — the zero-to-matches path for a user with two files and no labels::
 
-The output has columns ``left_id,right_id,score`` for every pair scored
-above the threshold (default 0.5).
+        python -m repro run --left a.csv --right b.csv --block-on name -o matches.csv
+        python -m repro run --left dirty.csv --block-on name -o duplicates.csv  # dedup
+
+    For backward compatibility the subcommand may be omitted:
+    ``python -m repro --left a.csv ...`` is equivalent to ``run``.
+
+``fit``
+    Batch-fit once and freeze the result into an artifact directory
+    (model parameters, feature generator, entity store, index config)::
+
+        python -m repro fit --left base.csv --block-on name --artifacts art/
+
+``resolve``
+    Stream a batch of new records against saved artifacts — no re-fit, the
+    store and artifacts are updated in place::
+
+        python -m repro resolve --artifacts art/ --records new.csv -o assignments.csv
 """
 
 from __future__ import annotations
@@ -25,52 +39,97 @@ from repro.pipeline import ERPipeline
 
 __all__ = ["main"]
 
+_SUBCOMMANDS = ("run", "fit", "resolve")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Unsupervised entity resolution (ZeroER, SIGMOD 2020).",
-    )
+
+def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) -> None:
+    """Flags shared by the batch-fitting subcommands (``run`` and ``fit``)."""
     parser.add_argument("--left", required=True, help="left table CSV (must have an id column)")
     parser.add_argument("--right", help="right table CSV; omit for deduplication of --left")
     parser.add_argument("--id-column", default="id", help="id column name (default: id)")
     parser.add_argument(
         "--block-on", required=True, help="attribute for token-overlap blocking"
     )
-    parser.add_argument("-o", "--output", required=True, help="output CSV for scored matches")
+    if with_output:
+        parser.add_argument("-o", "--output", required=True, help="output CSV for scored matches")
     parser.add_argument("--threshold", type=float, default=0.5, help="match threshold on γ")
     parser.add_argument("--kappa", type=float, default=0.15, help="regularization strength κ")
     parser.add_argument(
         "--no-transitivity", action="store_true", help="disable transitivity calibration"
     )
-    parser.add_argument(
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unsupervised entity resolution (ZeroER, SIGMOD 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="batch pipeline: two CSVs in, scored matches out")
+    _add_fit_arguments(run, with_output=True)
+    run.add_argument(
         "--one-to-one",
         action="store_true",
         help="post-process into a one-to-one assignment (linkage mode only)",
     )
+    run.set_defaults(func=_cmd_run)
+
+    fit = sub.add_parser("fit", help="batch-fit once and save frozen artifacts")
+    _add_fit_arguments(fit, with_output=False)
+    fit.add_argument(
+        "--artifacts", required=True, help="directory to write the frozen artifacts to"
+    )
+    fit.set_defaults(func=_cmd_fit)
+
+    resolve = sub.add_parser(
+        "resolve", help="resolve new records against saved artifacts (no re-fit)"
+    )
+    resolve.add_argument(
+        "--artifacts", required=True, help="artifact directory written by fit"
+    )
+    resolve.add_argument(
+        "--records", required=True, help="CSV of new records to resolve"
+    )
+    resolve.add_argument(
+        "-o", "--output", help="optional CSV for record→entity assignments"
+    )
+    resolve.set_defaults(func=_cmd_resolve)
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _load_tables(args):
     left = read_csv(Path(args.left), id_attr=args.id_column)
     right = read_csv(Path(args.right), id_attr=args.id_column) if args.right else None
     if args.block_on not in left.attributes:
-        print(f"error: --block-on attribute {args.block_on!r} not in the left table", file=sys.stderr)
-        return 2
+        print(
+            f"error: --block-on attribute {args.block_on!r} not in the left table",
+            file=sys.stderr,
+        )
+        return None, None, 2
+    return left, right, 0
 
+
+def _fit_pipeline(args, left, right) -> ERPipeline:
     config = ZeroERConfig(kappa=args.kappa, transitivity=not args.no_transitivity)
     pipeline = ERPipeline(blocking_attribute=args.block_on, config=config)
-    result = pipeline.run(left, right)
+    pipeline.run(left, right)
+    return pipeline
 
+
+def _cmd_run(args) -> int:
+    left, right, code = _load_tables(args)
+    if code:
+        return code
+    pipeline = _fit_pipeline(args, left, right)
+    result = pipeline.result_
+
+    score_of = {tuple(p): float(s) for p, s in zip(result.pairs, result.scores)}
     if args.one_to_one and right is not None:
         matches = greedy_one_to_one(result.pairs, result.scores, args.threshold)
-        score_of = {tuple(p): float(s) for p, s in zip(result.pairs, result.scores)}
-        rows = [(a, b, score_of[(a, b)]) for a, b in matches]
     else:
         matches = score_threshold_matches(result.pairs, result.scores, args.threshold)
-        score_of = {tuple(p): float(s) for p, s in zip(result.pairs, result.scores)}
-        rows = [(a, b, score_of[(a, b)]) for a, b in matches]
+    rows = [(a, b, score_of[(a, b)]) for a, b in matches]
 
     out_path = Path(args.output)
     with out_path.open("w", newline="", encoding="utf-8") as handle:
@@ -82,6 +141,84 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(result.pairs)} candidate pairs scored, {len(rows)} matches written to {out_path}"
     )
     return 0
+
+
+def _cmd_fit(args) -> int:
+    left, right, code = _load_tables(args)
+    if code:
+        return code
+    if right is not None:
+        # fail before the (expensive) fit: freeze() needs disjoint ids
+        shared = set(left.ids()) & set(right.ids())
+        if shared:
+            print(
+                f"error: {len(shared)} record ids appear in both tables; "
+                "fit needs disjoint ids (prefix each side, e.g. L0.../R0...)",
+                file=sys.stderr,
+            )
+            return 2
+    pipeline = _fit_pipeline(args, left, right)
+    try:
+        resolver = pipeline.freeze(threshold=args.threshold)
+    except (ValueError, RuntimeError) as exc:
+        # e.g. overlapping record ids across the two tables, or a blocking
+        # recipe that produced no candidate pairs to fit on
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = resolver.save(args.artifacts)
+    print(
+        f"fitted on {len(resolver.store)} records "
+        f"({resolver.store.n_entities} entities, "
+        f"{len(pipeline.result_.pairs)} candidate pairs scored); "
+        f"artifacts written to {path}"
+    )
+    return 0
+
+
+def _cmd_resolve(args) -> int:
+    from repro.incremental import ArtifactError, IncrementalResolver
+
+    try:
+        resolver = IncrementalResolver.load(args.artifacts)
+        records = read_csv(Path(args.records), id_attr=resolver.store.id_attr)
+        result = resolver.resolve(records)
+    except (ArtifactError, OSError, ValueError) as exc:
+        # e.g. missing/corrupt artifacts, unreadable CSV, or a record id
+        # that is already in the store (a batch streamed twice)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Write the assignments before persisting the store: if the output path
+    # is bad, the on-disk artifacts are untouched and the batch is retryable.
+    if args.output:
+        out_path = Path(args.output)
+        try:
+            with out_path.open("w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["record_id", "entity_id"])
+                for rid in result.record_ids:
+                    writer.writerow([rid, result.assignments[rid]])
+        except OSError as exc:
+            print(f"error: cannot write {out_path}: {exc}", file=sys.stderr)
+            return 2
+    resolver.save(args.artifacts)  # persist the updated store in place
+    print(
+        f"{len(result.record_ids)} records resolved against {len(result.pairs)} "
+        f"candidate pairs, {len(result.matches)} matches; "
+        f"store now holds {len(resolver.store)} records in "
+        f"{resolver.store.n_entities} entities"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: the original flat interface had no subcommand,
+    # so an invocation starting with a flag is routed to ``run``.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,7 @@ sorted neighborhood, and union composition.
 
 from repro.blocking.base import Blocker, candidate_recall, candidate_statistics
 from repro.blocking.attr_equivalence import AttributeEquivalenceBlocker
-from repro.blocking.overlap import TokenOverlapBlocker
+from repro.blocking.overlap import TokenOverlapBlocker, rank_overlap_candidates
 from repro.blocking.qgram import QgramBlocker
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
 from repro.blocking.compose import UnionBlocker
@@ -24,4 +24,5 @@ __all__ = [
     "UnionBlocker",
     "candidate_recall",
     "candidate_statistics",
+    "rank_overlap_candidates",
 ]

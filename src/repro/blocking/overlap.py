@@ -19,7 +19,52 @@ from repro.blocking.base import Blocker
 from repro.data.table import Table
 from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
 
-__all__ = ["TokenOverlapBlocker"]
+__all__ = [
+    "TokenOverlapBlocker",
+    "rank_overlap_candidates",
+    "validate_overlap_params",
+    "record_tokens",
+]
+
+
+def validate_overlap_params(min_overlap: int, max_df: float, top_k: int | None) -> None:
+    """Shared parameter validation for token-overlap retrieval.
+
+    Used by both the batch blocker and the incremental index so the two
+    stay parameter-compatible.
+    """
+    if min_overlap < 1:
+        raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
+    if not 0.0 < max_df <= 1.0:
+        raise ValueError(f"max_df must be in (0, 1], got {max_df}")
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+
+
+def record_tokens(tokenizer: Tokenizer, record: dict, attribute: str) -> set[str]:
+    """One record's distinct blocking tokens (the shared token contract)."""
+    return set(tokenizer(record.get(attribute)))
+
+
+def rank_overlap_candidates(
+    overlap: Counter,
+    min_overlap: int,
+    top_k: int | None,
+    position_of: dict,
+) -> list[tuple]:
+    """Rank one probe record's overlap counts into ``(rid, count)`` candidates.
+
+    The ranking contract shared by batch blocking and the incremental index:
+    keep counts ≥ ``min_overlap``, sort by descending overlap with ties broken
+    by target insertion order (deterministic), cap at ``top_k``.
+    """
+    candidates = [
+        (rid, count) for rid, count in overlap.items() if count >= min_overlap
+    ]
+    candidates.sort(key=lambda item: (-item[1], position_of[item[0]]))
+    if top_k is not None:
+        candidates = candidates[:top_k]
+    return candidates
 
 
 class TokenOverlapBlocker(Blocker):
@@ -49,12 +94,7 @@ class TokenOverlapBlocker(Blocker):
         max_df: float = 0.2,
         top_k: int | None = None,
     ):
-        if min_overlap < 1:
-            raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
-        if not 0.0 < max_df <= 1.0:
-            raise ValueError(f"max_df must be in (0, 1], got {max_df}")
-        if top_k is not None and top_k < 1:
-            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        validate_overlap_params(min_overlap, max_df, top_k)
         self.attribute = attribute
         self.tokenizer = tokenizer if tokenizer is not None else WhitespaceTokenizer()
         self.min_overlap = int(min_overlap)
@@ -62,7 +102,7 @@ class TokenOverlapBlocker(Blocker):
         self.top_k = top_k
 
     def _tokens(self, record: dict) -> set[str]:
-        return set(self.tokenizer(record.get(self.attribute)))
+        return record_tokens(self.tokenizer, record, self.attribute)
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
         dedup = right is None
@@ -86,18 +126,12 @@ class TokenOverlapBlocker(Blocker):
                     overlap[rid] += 1
             if dedup:
                 # only pair with later rows, so each unordered pair appears once
-                candidates = [
-                    (rid, count)
-                    for rid, count in overlap.items()
-                    if count >= self.min_overlap and target_positions[rid] > probe_pos
-                ]
-            else:
-                candidates = [
-                    (rid, count) for rid, count in overlap.items() if count >= self.min_overlap
-                ]
-            candidates.sort(key=lambda item: (-item[1], target_positions[item[0]]))
-            if self.top_k is not None:
-                candidates = candidates[: self.top_k]
+                overlap = Counter(
+                    {rid: count for rid, count in overlap.items() if target_positions[rid] > probe_pos}
+                )
+            candidates = rank_overlap_candidates(
+                overlap, self.min_overlap, self.top_k, target_positions
+            )
             pairs.extend((lid, rid) for rid, _count in candidates)
         return pairs
 

@@ -10,6 +10,7 @@ transitivity calibrator mutating posteriors between steps.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -28,7 +29,15 @@ from repro.core.initialization import magnitude_initialization
 from repro.core.regularization import apply_regularization, penalty_diagonal
 from repro.utils.validation import check_feature_groups, check_feature_matrix
 
-__all__ = ["MixtureParameters", "EMHistory", "EMRunner"]
+__all__ = [
+    "MixtureParameters",
+    "EMHistory",
+    "EMRunner",
+    "mixture_state",
+    "mixture_from_state",
+    "frozen_scorer_state",
+    "frozen_scorer_parts",
+]
 
 
 @dataclass
@@ -38,6 +47,71 @@ class MixtureParameters:
     prior_match: float
     match: BlockDiagonalGaussian
     unmatch: BlockDiagonalGaussian
+
+
+def mixture_state(params: MixtureParameters) -> dict:
+    """Array-valued state of a learned mixture (for artifact persistence)."""
+    return {
+        "prior_match": float(params.prior_match),
+        "match_mean": np.asarray(params.match.mean, dtype=np.float64),
+        "match_blocks": [np.asarray(b, dtype=np.float64) for b in params.match.blocks],
+        "unmatch_mean": np.asarray(params.unmatch.mean, dtype=np.float64),
+        "unmatch_blocks": [np.asarray(b, dtype=np.float64) for b in params.unmatch.blocks],
+    }
+
+
+def mixture_from_state(state: dict, groups: list[list[int]]) -> MixtureParameters:
+    """Rebuild :class:`MixtureParameters` from :func:`mixture_state` output."""
+    groups = [list(g) for g in groups]
+    return MixtureParameters(
+        prior_match=float(state["prior_match"]),
+        match=BlockDiagonalGaussian(state["match_mean"], groups, list(state["match_blocks"])),
+        unmatch=BlockDiagonalGaussian(
+            state["unmatch_mean"], groups, list(state["unmatch_blocks"])
+        ),
+    )
+
+
+def frozen_scorer_state(
+    kind: str,
+    config: ZeroERConfig,
+    runner: "EMRunner",
+    normalizer,
+    impute_means,
+) -> dict:
+    """Assemble the inference-only state shared by every frozen matcher.
+
+    One schema for :class:`~repro.core.model.ZeroER` and
+    :class:`~repro.core.linkage.ZeroERLinkage` — only ``kind`` differs —
+    so the artifact layer and both models cannot drift apart.
+    """
+    return {
+        "kind": kind,
+        "config": dataclasses.asdict(config),
+        "groups": [list(g) for g in runner.groups],
+        "norm_mins": np.asarray(normalizer.mins_),
+        "norm_maxs": np.asarray(normalizer.maxs_),
+        "impute_means": np.asarray(impute_means),
+        "mixture": mixture_state(runner.params),
+    }
+
+
+def frozen_scorer_parts(state: dict, name: str = "model"):
+    """Disassemble :func:`frozen_scorer_state` output.
+
+    Returns ``(config, normalizer, impute_means, runner)`` with the runner
+    frozen via :meth:`EMRunner.from_params`.
+    """
+    from repro.features.normalize import MinMaxNormalizer
+
+    config = ZeroERConfig(**state["config"])
+    normalizer = MinMaxNormalizer()
+    normalizer.mins_ = np.asarray(state["norm_mins"], dtype=np.float64)
+    normalizer.maxs_ = np.asarray(state["norm_maxs"], dtype=np.float64)
+    impute_means = np.asarray(state["impute_means"], dtype=np.float64)
+    groups = [list(g) for g in state["groups"]]
+    params = mixture_from_state(state["mixture"], groups)
+    return config, normalizer, impute_means, EMRunner.from_params(params, groups, config, name)
 
 
 @dataclass
@@ -97,6 +171,32 @@ class EMRunner:
             if config.shared_correlation
             else None
         )
+
+    @classmethod
+    def from_params(
+        cls,
+        params: MixtureParameters,
+        feature_groups: list[list[int]],
+        config: ZeroERConfig,
+        name: str = "model",
+    ) -> "EMRunner":
+        """A frozen runner carrying learned parameters but no training data.
+
+        Used when deserializing model artifacts: :meth:`posterior` works
+        (it needs only ``params``), while the training-side methods
+        (:meth:`m_step`, :meth:`e_step`, :meth:`run`) must not be called —
+        there is no feature matrix to re-fit on.
+        """
+        runner = object.__new__(cls)
+        runner.X = np.zeros((0, params.match.n_features))
+        runner.config = config
+        runner.name = name
+        runner.groups = [list(g) for g in feature_groups]
+        runner.gamma = np.zeros(0)
+        runner.params = params
+        runner.history = EMHistory()
+        runner._shared_correlation = None
+        return runner
 
     # -- M-step -----------------------------------------------------------------
 

@@ -24,10 +24,15 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.config import ZeroERConfig
-from repro.core.em import EMHistory, EMRunner
+from repro.core.em import EMHistory, EMRunner, frozen_scorer_parts, frozen_scorer_state
 from repro.core.exceptions import InitializationError
 from repro.core.transitivity import LinkageTransitivityCalibrator
-from repro.features.normalize import MinMaxNormalizer, impute_nan
+from repro.features.normalize import (
+    MinMaxNormalizer,
+    apply_normalization,
+    fit_normalization,
+    impute_nan,
+)
 from repro.utils.validation import check_feature_matrix
 
 __all__ = ["ZeroERLinkage"]
@@ -63,6 +68,8 @@ class ZeroERLinkage:
         self._cross: EMRunner | None = None
         self._left: EMRunner | None = None
         self._right: EMRunner | None = None
+        self._normalizer: MinMaxNormalizer | None = None
+        self._impute_means: np.ndarray | None = None
 
     def fit(
         self,
@@ -83,7 +90,11 @@ class ZeroERLinkage:
             raise ValueError("cross_pairs must align with X_cross rows")
         groups = None if feature_groups is None else [list(g) for g in feature_groups]
         cfg = self.config
-        self._cross = EMRunner(_prepare(X_cross), groups, cfg, name="F")
+        # The cross model's normalization/imputation statistics are kept so
+        # that predict_proba can score unseen pairs after fitting.
+        X_cross = check_feature_matrix(X_cross, allow_nan=True)
+        self._normalizer, self._impute_means, X_prepared = fit_normalization(X_cross)
+        self._cross = EMRunner(X_prepared, groups, cfg, name="F")
         self._left = self._optional_runner(X_left, left_pairs, groups, "Fl")
         self._right = self._optional_runner(X_right, right_pairs, groups, "Fr")
 
@@ -179,3 +190,52 @@ class ZeroERLinkage:
     def right_scores_(self) -> np.ndarray | None:
         """Posteriors of the right within-table model, if trained."""
         return self._right.gamma if self._right is not None else None
+
+    # -- inference on unseen pairs -------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Posterior match probabilities for *new* cross-table pairs.
+
+        New rows are normalized and imputed with the cross model's training
+        statistics and scored under its learned mixture. Transitivity
+        calibration does not apply — unseen pairs carry no graph context —
+        so this is the frozen-scorer path used by incremental resolution.
+        """
+        runner = self._check_fitted()
+        if self._normalizer is None or self._impute_means is None:
+            raise RuntimeError("ZeroERLinkage must be fitted before predict_proba")
+        X = check_feature_matrix(X, allow_nan=True)
+        return runner.posterior(apply_normalization(self._normalizer, self._impute_means, X))
+
+    def predict(self, X) -> np.ndarray:
+        """0/1 match labels for new cross-table pairs."""
+        return (self.predict_proba(X) > 0.5).astype(np.int64)
+
+    # -- persistence --------------------------------------------------------------
+
+    def get_fitted_state(self) -> dict:
+        """Inference-only state: the cross model F plus its preprocessing.
+
+        The within-table models Fl/Fr exist only to shape training-time
+        calibration; scoring unseen pairs needs F alone, so they are not
+        persisted. A model restored with :meth:`from_fitted_state` scores
+        bit-identically via :meth:`predict_proba` but cannot be re-fitted.
+        """
+        runner = self._check_fitted()
+        if runner.params is None:
+            raise RuntimeError("ZeroERLinkage has no parameters; fit first")
+        if self._normalizer is None or self._impute_means is None:
+            raise RuntimeError("ZeroERLinkage must be fitted before get_fitted_state")
+        return frozen_scorer_state(
+            "linkage", self.config, runner, self._normalizer, self._impute_means
+        )
+
+    @classmethod
+    def from_fitted_state(cls, state: dict) -> "ZeroERLinkage":
+        """Rebuild a frozen (inference-only) linkage matcher."""
+        config, normalizer, impute_means, runner = frozen_scorer_parts(state, name="F")
+        model = cls(config)
+        model._normalizer = normalizer
+        model._impute_means = impute_means
+        model._cross = runner
+        return model

@@ -16,9 +16,19 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.config import ZeroERConfig
-from repro.core.em import EMHistory, EMRunner, MixtureParameters
+from repro.core.em import (
+    EMHistory,
+    EMRunner,
+    MixtureParameters,
+    frozen_scorer_parts,
+    frozen_scorer_state,
+)
 from repro.core.transitivity import DedupTransitivityCalibrator
-from repro.features.normalize import MinMaxNormalizer, impute_nan
+from repro.features.normalize import (
+    MinMaxNormalizer,
+    apply_normalization,
+    fit_normalization,
+)
 from repro.utils.validation import check_feature_matrix
 
 __all__ = ["ZeroER"]
@@ -94,11 +104,8 @@ class ZeroER:
         return self.fit(X, feature_groups, pairs).labels_
 
     def _prepare_training(self, X: np.ndarray) -> np.ndarray:
-        self._normalizer = MinMaxNormalizer().fit(X)
-        scaled = self._normalizer.transform(X)
-        with np.errstate(invalid="ignore"):
-            self._impute_means = np.nanmean(scaled, axis=0)
-        return impute_nan(scaled, self._impute_means)
+        self._normalizer, self._impute_means, prepared = fit_normalization(X)
+        return prepared
 
     @staticmethod
     def _as_groups(feature_groups) -> list[list[int]] | None:
@@ -144,6 +151,36 @@ class ZeroER:
     def converged_(self) -> bool:
         return self.history_.converged
 
+    # -- persistence --------------------------------------------------------------
+
+    def get_fitted_state(self) -> dict:
+        """Everything :meth:`predict_proba` needs, as plain dicts and arrays.
+
+        Captures the configuration, feature grouping, normalization and
+        imputation statistics, and the learned mixture — but *not* the
+        training matrix or posteriors. A model restored with
+        :meth:`from_fitted_state` scores new pairs bit-identically; it cannot
+        be re-fitted (that requires training data).
+        """
+        runner = self._check_fitted()
+        if runner.params is None:
+            raise RuntimeError("ZeroER has no parameters; fit first")
+        if self._normalizer is None or self._impute_means is None:
+            raise RuntimeError("ZeroER must be fitted before get_fitted_state")
+        return frozen_scorer_state(
+            "zeroer", self.config, runner, self._normalizer, self._impute_means
+        )
+
+    @classmethod
+    def from_fitted_state(cls, state: dict) -> "ZeroER":
+        """Rebuild a frozen (inference-only) matcher from :meth:`get_fitted_state`."""
+        config, normalizer, impute_means, runner = frozen_scorer_parts(state)
+        model = cls(config)
+        model._normalizer = normalizer
+        model._impute_means = impute_means
+        model._runner = runner
+        return model
+
     # -- inference on unseen pairs ----------------------------------------------
 
     def predict_proba(self, X) -> np.ndarray:
@@ -159,8 +196,7 @@ class ZeroER:
         if self._normalizer is None or self._impute_means is None:
             raise RuntimeError("ZeroER must be fitted before predict_proba")
         X = check_feature_matrix(X, allow_nan=True)
-        scaled = self._normalizer.transform(X)
-        return runner.posterior(impute_nan(scaled, self._impute_means))
+        return runner.posterior(apply_normalization(self._normalizer, self._impute_means, X))
 
     def predict(self, X) -> np.ndarray:
         """0/1 match labels for new candidate pairs."""
@@ -183,5 +219,5 @@ class ZeroER:
         if runner.params is None:
             raise RuntimeError("ZeroER has no parameters; fit first")
         X = check_feature_matrix(X, allow_nan=True)
-        prepared = impute_nan(self._normalizer.transform(X), self._impute_means)
+        prepared = apply_normalization(self._normalizer, self._impute_means, X)
         return explain_pairs(runner.params, prepared)

@@ -272,6 +272,60 @@ class FeatureGenerator:
                 spread = float(np.std(observed)) if len(observed) > 1 else 0.0
                 spec.scale = spread if spread > 0.0 else 1.0
 
+    # -- persistence -----------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-serializable fitted state (types plus data-fitted parameters).
+
+        The feature *specs* are deterministic given the attribute types
+        (:func:`_features_for_type`), so only the inferred types and the
+        data-dependent parameters — idf tables and numeric scales — need to
+        be captured. Restore with :meth:`from_state`.
+        """
+        self._check_fitted()
+        params: dict[str, dict] = {}
+        for spec in self.features_:
+            if isinstance(spec, _TfidfFeature):
+                params[spec.name] = {"idf": dict(spec.idf)}
+            elif isinstance(spec, _NumericFeature):
+                params[spec.name] = {"scale": float(spec.scale)}
+        return {
+            "attributes": list(self.attributes_),
+            "attribute_types": {a: t.value for a, t in self.attribute_types_.items()},
+            "type_overrides": {a: t.value for a, t in self.type_overrides.items()},
+            "feature_params": params,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FeatureGenerator":
+        """Rebuild a fitted generator from :meth:`get_state` output.
+
+        The restored generator produces bit-identical feature matrices: the
+        feature list is reconstructed from the saved types and the fitted
+        idf/scale parameters are written back onto the matching specs.
+        """
+        overrides = {a: AttributeType(v) for a, v in state["type_overrides"].items()}
+        gen = cls(type_overrides=overrides)
+        gen.attributes_ = list(state["attributes"])
+        gen.attribute_types_ = {
+            a: AttributeType(v) for a, v in state["attribute_types"].items()
+        }
+        gen.features_ = []
+        gen.feature_groups_ = []
+        params = state["feature_params"]
+        for attr in gen.attributes_:
+            specs = _features_for_type(attr, gen.attribute_types_[attr])
+            for spec in specs:
+                fitted = params.get(spec.name)
+                if isinstance(spec, _TfidfFeature) and fitted is not None:
+                    spec.idf = {tok: float(w) for tok, w in fitted["idf"].items()}
+                elif isinstance(spec, _NumericFeature) and fitted is not None:
+                    spec.scale = float(fitted["scale"])
+            start = len(gen.features_)
+            gen.features_.extend(specs)
+            gen.feature_groups_.append(list(range(start, len(gen.features_))))
+        return gen
+
     # -- introspection ---------------------------------------------------------
 
     @property
@@ -303,20 +357,30 @@ class FeatureGenerator:
 
         ``right=None`` means deduplication: both pair elements are ids in
         ``left``. Cells are NaN where either side's attribute is missing.
+        Only records referenced by ``pairs`` are prepared, so the cost is
+        linear in the pair batch, not the table size; any record source with
+        ``.get(record_id) -> dict`` (a :class:`~repro.data.table.Table` or an
+        :class:`~repro.incremental.store.EntityStore`) is accepted.
         """
         self._check_fitted()
-        other = left if right is None else right
         n, d = len(pairs), len(self.features_)
         X = np.empty((n, d), dtype=np.float64)
+        # Prepare only records that actually appear in ``pairs``: incremental
+        # resolution scores tiny pair batches against large stores, where
+        # preparing every record would dominate the featurization cost.
+        left_ids = {a_id for a_id, _ in pairs}
+        right_ids = {b_id for _, b_id in pairs}
+        if right is None:
+            left_ids |= right_ids
         for j, spec in enumerate(self.features_):
             left_prep = {
-                rec[left.id_attr]: spec.prepare(rec.get(spec.attribute)) for rec in left
+                rid: spec.prepare(left.get(rid).get(spec.attribute)) for rid in left_ids
             }
             if right is None:
                 right_prep = left_prep
             else:
                 right_prep = {
-                    rec[other.id_attr]: spec.prepare(rec.get(spec.attribute)) for rec in other
+                    rid: spec.prepare(right.get(rid).get(spec.attribute)) for rid in right_ids
                 }
             column = X[:, j]
             for i, (a_id, b_id) in enumerate(pairs):

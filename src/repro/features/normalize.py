@@ -12,7 +12,28 @@ import numpy as np
 
 from repro.utils.validation import check_feature_matrix
 
-__all__ = ["MinMaxNormalizer", "impute_nan"]
+__all__ = ["MinMaxNormalizer", "impute_nan", "fit_normalization", "apply_normalization"]
+
+
+def fit_normalization(X) -> tuple["MinMaxNormalizer", np.ndarray, np.ndarray]:
+    """Fit the paper's preprocessing and return ``(normalizer, means, prepared)``.
+
+    One shared definition of "scale then impute" so every trainer (dedup and
+    linkage) and every frozen artifact stores the same statistics: the fitted
+    min–max normalizer, the post-scaling column means (raw ``nanmean`` —
+    all-NaN columns stay NaN here and fall back to 0.5 inside
+    :func:`impute_nan`), and the fully prepared training matrix.
+    """
+    normalizer = MinMaxNormalizer().fit(X)
+    scaled = normalizer.transform(X)
+    with np.errstate(invalid="ignore"):
+        impute_means = np.nanmean(scaled, axis=0)
+    return normalizer, impute_means, impute_nan(scaled, impute_means)
+
+
+def apply_normalization(normalizer: "MinMaxNormalizer", impute_means, X) -> np.ndarray:
+    """Prepare new rows with training-time statistics (inference path)."""
+    return impute_nan(normalizer.transform(X), impute_means)
 
 
 def impute_nan(X: np.ndarray, column_means: np.ndarray | None = None) -> np.ndarray:

@@ -1,0 +1,159 @@
+"""Frozen-model artifacts: save/load a fitted generator + matcher to disk.
+
+An artifact directory is two files:
+
+* ``manifest.json`` — versioned schema: model kind and configuration,
+  feature grouping, the generator's fitted state (attribute types, idf
+  tables, numeric scales), and any extra payload the caller attaches
+  (the incremental resolver stores its entity store and index parameters
+  here);
+* ``arrays.npz`` — every numeric array of the fitted model (normalization
+  statistics, imputation means, mixture means and covariance blocks).
+
+The split keeps the artifact inspectable (the manifest is plain JSON) while
+arrays round-trip bit-identically through ``.npz``; JSON floats round-trip
+exactly too (``json`` serializes via ``repr``), so a loaded model's
+``predict_proba`` equals the original's to the last bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.linkage import ZeroERLinkage
+from repro.core.model import ZeroER
+from repro.features.generator import FeatureGenerator
+
+__all__ = ["SCHEMA_VERSION", "save_artifacts", "load_artifacts", "ArtifactError"]
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+
+class ArtifactError(RuntimeError):
+    """Raised when an artifact directory is missing, corrupt, or incompatible."""
+
+
+def _split_model_state(state: dict) -> tuple[dict, dict[str, np.ndarray]]:
+    """Separate a fitted-model state dict into JSON metadata and named arrays."""
+    mixture = state["mixture"]
+    arrays = {
+        "norm_mins": state["norm_mins"],
+        "norm_maxs": state["norm_maxs"],
+        "impute_means": state["impute_means"],
+        "match_mean": mixture["match_mean"],
+        "unmatch_mean": mixture["unmatch_mean"],
+    }
+    for c in ("match", "unmatch"):
+        for g, block in enumerate(mixture[f"{c}_blocks"]):
+            arrays[f"{c}_block_{g}"] = block
+    meta = {
+        "kind": state["kind"],
+        "config": state["config"],
+        "groups": state["groups"],
+        "prior_match": mixture["prior_match"],
+        "n_blocks": len(mixture["match_blocks"]),
+    }
+    return meta, arrays
+
+
+def _join_model_state(meta: dict, arrays) -> dict:
+    """Inverse of :func:`_split_model_state`."""
+    n_blocks = int(meta["n_blocks"])
+    return {
+        "kind": meta["kind"],
+        "config": meta["config"],
+        "groups": meta["groups"],
+        "norm_mins": arrays["norm_mins"],
+        "norm_maxs": arrays["norm_maxs"],
+        "impute_means": arrays["impute_means"],
+        "mixture": {
+            "prior_match": float(meta["prior_match"]),
+            "match_mean": arrays["match_mean"],
+            "unmatch_mean": arrays["unmatch_mean"],
+            "match_blocks": [arrays[f"match_block_{g}"] for g in range(n_blocks)],
+            "unmatch_blocks": [arrays[f"unmatch_block_{g}"] for g in range(n_blocks)],
+        },
+    }
+
+
+def save_artifacts(
+    path: str | Path,
+    generator: FeatureGenerator,
+    model: ZeroER | ZeroERLinkage,
+    extra: dict | None = None,
+) -> Path:
+    """Write a fitted generator + matcher to an artifact directory.
+
+    Parameters
+    ----------
+    path:
+        Directory to create (or reuse — both artifact files are overwritten).
+    generator:
+        Fitted :class:`~repro.features.generator.FeatureGenerator`.
+    model:
+        Fitted :class:`~repro.core.model.ZeroER` or
+        :class:`~repro.core.linkage.ZeroERLinkage`.
+    extra:
+        Optional JSON-serializable payload stored under ``"extra"`` in the
+        manifest (e.g. the incremental resolver's store and index state).
+    """
+    from repro import __version__
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    meta, arrays = _split_model_state(model.get_fitted_state())
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "model": meta,
+        "generator": generator.get_state(),
+        "extra": extra if extra is not None else {},
+    }
+    with (path / _MANIFEST).open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    np.savez(path / _ARRAYS, **arrays)
+    return path
+
+
+def load_artifacts(
+    path: str | Path,
+) -> tuple[FeatureGenerator, ZeroER | ZeroERLinkage, dict]:
+    """Load ``(generator, model, manifest)`` from an artifact directory.
+
+    The returned model is frozen (inference-only): ``predict_proba`` and
+    ``predict`` work, re-fitting does not. The full manifest is returned so
+    callers can read their ``extra`` payload.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not an artifact directory (no {_MANIFEST})")
+    with manifest_path.open("r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact schema version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    try:
+        with np.load(path / _ARRAYS) as arrays:
+            state = _join_model_state(manifest["model"], dict(arrays))
+    except FileNotFoundError as exc:
+        raise ArtifactError(f"{path} is missing {_ARRAYS}") from exc
+    kind = state["kind"]
+    if kind == "zeroer":
+        model: ZeroER | ZeroERLinkage = ZeroER.from_fitted_state(state)
+    elif kind == "linkage":
+        model = ZeroERLinkage.from_fitted_state(state)
+    else:
+        raise ArtifactError(f"unknown model kind {kind!r} in manifest")
+    generator = FeatureGenerator.from_state(manifest["generator"])
+    return generator, model, manifest

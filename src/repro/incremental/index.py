@@ -1,0 +1,217 @@
+"""Incremental inverted token index for candidate retrieval.
+
+:class:`IncrementalTokenIndex` is the streaming counterpart of
+:class:`~repro.blocking.overlap.TokenOverlapBlocker`: the same token-overlap
+candidate scoring (shared via
+:func:`~repro.blocking.overlap.rank_overlap_candidates`, including the
+descending-overlap/insertion-order ranking contract), but over postings that
+grow one record at a time instead of being rebuilt per run.
+
+Document-frequency pruning is applied at *query* time against the current
+index size, so a token that starts rare and becomes boilerplate as records
+stream in is pruned exactly as a batch rebuild would prune it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.blocking.overlap import (
+    TokenOverlapBlocker,
+    rank_overlap_candidates,
+    record_tokens,
+    validate_overlap_params,
+)
+from repro.data.table import Table
+from repro.text.tokenizers import (
+    AlnumTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    Tokenizer,
+    WhitespaceTokenizer,
+)
+
+__all__ = ["IncrementalTokenIndex", "tokenizer_spec", "tokenizer_from_spec"]
+
+
+def tokenizer_spec(tokenizer: Tokenizer) -> dict:
+    """JSON-serializable description of a standard tokenizer.
+
+    Covers the library's tokenizer families; a custom subclass cannot be
+    persisted declaratively (its behavior is not captured by the parameters)
+    and raises ``TypeError`` — exact types only.
+    """
+    kind = type(tokenizer)
+    if kind is QgramTokenizer:
+        return {
+            "type": "qgram",
+            "q": tokenizer.q,
+            "padded": tokenizer.padded,
+            "lowercase": tokenizer.lowercase,
+        }
+    if kind is DelimiterTokenizer:
+        return {
+            "type": "delimiter",
+            "delimiter": tokenizer.delimiter,
+            "lowercase": tokenizer.lowercase,
+            "strip": tokenizer.strip,
+        }
+    if kind is AlnumTokenizer:
+        return {"type": "alnum", "lowercase": tokenizer.lowercase}
+    if kind is WhitespaceTokenizer:
+        return {"type": "whitespace", "lowercase": tokenizer.lowercase}
+    raise TypeError(f"cannot serialize tokenizer of type {kind.__name__}")
+
+
+def tokenizer_from_spec(spec: dict) -> Tokenizer:
+    """Rebuild a tokenizer from :func:`tokenizer_spec` output."""
+    kind = spec["type"]
+    if kind == "qgram":
+        return QgramTokenizer(spec["q"], padded=spec["padded"], lowercase=spec["lowercase"])
+    if kind == "delimiter":
+        return DelimiterTokenizer(
+            spec["delimiter"], lowercase=spec["lowercase"], strip=spec["strip"]
+        )
+    if kind == "alnum":
+        return AlnumTokenizer(lowercase=spec["lowercase"])
+    if kind == "whitespace":
+        return WhitespaceTokenizer(lowercase=spec["lowercase"])
+    raise ValueError(f"unknown tokenizer spec type {kind!r}")
+
+
+class IncrementalTokenIndex:
+    """Grow-only inverted index supporting ``add`` / ``candidates``.
+
+    Parameters mirror :class:`~repro.blocking.overlap.TokenOverlapBlocker`
+    (attribute, tokenizer, ``min_overlap``, ``max_df``, ``top_k``); ranking
+    and pruning semantics are identical, so probing an index built from a
+    table returns the same candidates batch blocking would have produced for
+    that probe record.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        tokenizer: Tokenizer | None = None,
+        min_overlap: int = 1,
+        max_df: float = 0.2,
+        top_k: int | None = None,
+        id_attr: str = "id",
+    ):
+        validate_overlap_params(min_overlap, max_df, top_k)
+        self.attribute = attribute
+        self.tokenizer = tokenizer if tokenizer is not None else WhitespaceTokenizer()
+        self.min_overlap = int(min_overlap)
+        self.max_df = float(max_df)
+        self.top_k = top_k
+        self.id_attr = id_attr
+        self._postings: dict[str, list] = {}
+        self._position: dict = {}  # record id -> insertion order (tie-break)
+
+    @classmethod
+    def from_blocker(cls, blocker: TokenOverlapBlocker, id_attr: str = "id") -> "IncrementalTokenIndex":
+        """An empty index with the same retrieval parameters as ``blocker``."""
+        if not isinstance(blocker, TokenOverlapBlocker):
+            raise TypeError(
+                "incremental candidate retrieval requires a TokenOverlapBlocker; "
+                f"got {type(blocker).__name__}"
+            )
+        return cls(
+            blocker.attribute,
+            tokenizer=blocker.tokenizer,
+            min_overlap=blocker.min_overlap,
+            max_df=blocker.max_df,
+            top_k=blocker.top_k,
+            id_attr=id_attr,
+        )
+
+    # -- growth ----------------------------------------------------------------
+
+    def _tokens(self, record: dict) -> set[str]:
+        return record_tokens(self.tokenizer, record, self.attribute)
+
+    def add(self, records: Iterable[dict] | Table) -> int:
+        """Index ``records``; returns how many were added.
+
+        Re-adding an already-indexed record id raises ``ValueError`` — the
+        index is grow-only and duplicated postings would double-count
+        overlaps.
+        """
+        added = 0
+        for rec in records:
+            rid = rec[self.id_attr]
+            if rid in self._position:
+                raise ValueError(f"record id {rid!r} is already indexed")
+            self._position[rid] = len(self._position)
+            for tok in self._tokens(rec):
+                self._postings.setdefault(tok, []).append(rid)
+            added += 1
+        return added
+
+    # -- retrieval -------------------------------------------------------------
+
+    def candidates(self, record: dict, top_k: int | None = None) -> list[tuple]:
+        """Ranked ``(record_id, overlap_count)`` candidates for one probe.
+
+        The probe record itself need not (and normally does not) live in the
+        index yet; if it does, it is excluded from its own candidates.
+        ``top_k`` overrides the index default for this query.
+        """
+        if not self._position:
+            return []
+        probe_id = record.get(self.id_attr)
+        df_cap = max(1, int(self.max_df * len(self._position)))
+        overlap: Counter = Counter()
+        for tok in self._tokens(record):
+            ids = self._postings.get(tok)
+            if ids is None or len(ids) > df_cap:
+                continue
+            for rid in ids:
+                overlap[rid] += 1
+        if probe_id is not None:
+            overlap.pop(probe_id, None)
+        k = self.top_k if top_k is None else top_k
+        return rank_overlap_candidates(overlap, self.min_overlap, k, self._position)
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, record_id) -> bool:
+        return record_id in self._position
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of distinct indexed tokens."""
+        return len(self._postings)
+
+    def params(self) -> dict:
+        """JSON-serializable retrieval parameters (for artifact manifests)."""
+        return {
+            "attribute": self.attribute,
+            "tokenizer": tokenizer_spec(self.tokenizer),
+            "min_overlap": self.min_overlap,
+            "max_df": self.max_df,
+            "top_k": self.top_k,
+            "id_attr": self.id_attr,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "IncrementalTokenIndex":
+        """An empty index configured from :meth:`params` output."""
+        return cls(
+            params["attribute"],
+            tokenizer=tokenizer_from_spec(params["tokenizer"]),
+            min_overlap=params["min_overlap"],
+            max_df=params["max_df"],
+            top_k=params["top_k"],
+            id_attr=params["id_attr"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalTokenIndex({self.attribute!r}, n_records={len(self)}, "
+            f"n_tokens={self.n_tokens})"
+        )

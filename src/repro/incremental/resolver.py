@@ -1,0 +1,187 @@
+"""Streaming resolution against a frozen model.
+
+:class:`IncrementalResolver` is the serving path the batch pipeline cannot
+provide: given a model fitted once (EM never re-runs here), each arriving
+batch of records is resolved in time proportional to the *batch*, not the
+store — candidates come from the incremental index, only the new candidate
+pairs are featurized, and the frozen model scores them via
+``predict_proba``. Matches update the entity store's union-find registry,
+so transitive merges across batches happen automatically.
+
+Records within one batch can match each other: each record is probed
+against the index *before* being added, and earlier records of the batch
+are already indexed when later ones probe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.linkage import ZeroERLinkage
+from repro.core.model import ZeroER
+from repro.features.generator import FeatureGenerator
+from repro.incremental.artifacts import load_artifacts, save_artifacts
+from repro.incremental.index import IncrementalTokenIndex
+from repro.incremental.store import EntityStore
+
+__all__ = ["IncrementalResolver", "ResolveResult"]
+
+
+@dataclass
+class ResolveResult:
+    """Outcome of resolving one batch of new records."""
+
+    #: Ids of the records added by this batch, in input order.
+    record_ids: list
+    #: Candidate pairs ``(existing_id, new_id)`` that were scored.
+    pairs: list[tuple]
+    #: Frozen-model match probabilities, aligned with ``pairs``.
+    scores: np.ndarray
+    #: Entity id each new record ended up in (post-merge), keyed by record id.
+    assignments: dict
+    #: Match threshold the resolver applied.
+    threshold: float
+    #: Per-stage wall-clock seconds (``candidates``/``features``/``scoring``).
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def matches(self) -> list[tuple]:
+        """The scored pairs that cleared the match threshold."""
+        return [
+            pair for pair, score in zip(self.pairs, self.scores) if score > self.threshold
+        ]
+
+    def __post_init__(self):
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+
+
+class IncrementalResolver:
+    """Resolve arriving records against a frozen model and a live store.
+
+    Parameters
+    ----------
+    generator:
+        Fitted feature generator (frozen — types, idf tables, scales).
+    model:
+        Fitted :class:`~repro.core.model.ZeroER` or
+        :class:`~repro.core.linkage.ZeroERLinkage`; only ``predict_proba``
+        is used, EM is never re-run.
+    index:
+        Incremental candidate index, already covering the store's records.
+    store:
+        Entity store holding previously resolved records.
+    threshold:
+        Match probability threshold (default 0.5, the paper's γ > 0.5 rule).
+    """
+
+    def __init__(
+        self,
+        generator: FeatureGenerator,
+        model: ZeroER | ZeroERLinkage,
+        index: IncrementalTokenIndex,
+        store: EntityStore,
+        threshold: float = 0.5,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if len(index) != len(store):
+            raise ValueError(
+                f"index covers {len(index)} records but the store holds {len(store)}"
+            )
+        self.generator = generator
+        self.model = model
+        self.index = index
+        self.store = store
+        self.threshold = float(threshold)
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, records) -> ResolveResult:
+        """Resolve a batch of new records; returns scores and entity assignments.
+
+        Each record is probed against the index, then added to the index and
+        store; all retrieved candidate pairs are featurized and scored in one
+        vectorized pass, and pairs above the threshold are merged in the
+        store. Record ids must be new to the store.
+        """
+        records = list(records)  # a Table iterates as record dicts
+        timings: dict[str, float] = {}
+        id_attr = self.store.id_attr
+
+        # Validate the whole batch before touching the index or store, so a
+        # bad id cannot leave earlier batch records half-ingested (added but
+        # never scored) with no way to retry.
+        batch_ids = set()
+        for rec in records:
+            rid = rec[id_attr]
+            if rid in self.store:
+                raise ValueError(f"record id {rid!r} is already in the store")
+            if rid in batch_ids:
+                raise ValueError(f"record id {rid!r} appears twice in the batch")
+            batch_ids.add(rid)
+
+        started = time.perf_counter()
+        pairs: list[tuple] = []
+        new_ids = []
+        for rec in records:
+            rid = rec[id_attr]
+            pairs.extend((cand, rid) for cand, _count in self.index.candidates(rec))
+            self.index.add([rec])
+            self.store.add(rec)
+            new_ids.append(rid)
+        timings["candidates"] = time.perf_counter() - started
+
+        if pairs:
+            started = time.perf_counter()
+            X = self.generator.transform(self.store, None, pairs)
+            timings["features"] = time.perf_counter() - started
+            started = time.perf_counter()
+            scores = self.model.predict_proba(X)
+            for (a_id, b_id), score in zip(pairs, scores):
+                if score > self.threshold:
+                    self.store.merge(a_id, b_id)
+            timings["scoring"] = time.perf_counter() - started
+        else:
+            scores = np.zeros(0)
+            timings["features"] = timings["scoring"] = 0.0
+
+        return ResolveResult(
+            record_ids=new_ids,
+            pairs=pairs,
+            scores=scores,
+            assignments={rid: self.store.entity_of(rid) for rid in new_ids},
+            threshold=self.threshold,
+            seconds=timings,
+        )
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the full resolver (model artifacts + store + index config).
+
+        The index postings are not written: they are a pure function of the
+        store's records and the index parameters, and :meth:`load` rebuilds
+        them by re-indexing the store in insertion order.
+        """
+        extra = {
+            "resolver": {
+                "threshold": self.threshold,
+                "index": self.index.params(),
+                "store": self.store.to_state(),
+            }
+        }
+        return save_artifacts(path, self.generator, self.model, extra=extra)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "IncrementalResolver":
+        """Restore a resolver saved with :meth:`save`, ready to keep resolving."""
+        generator, model, manifest = load_artifacts(path)
+        payload = manifest["extra"]["resolver"]
+        store = EntityStore.from_state(payload["store"])
+        index = IncrementalTokenIndex.from_params(payload["index"])
+        index.add(store.records())
+        return cls(generator, model, index, store, threshold=payload["threshold"])

@@ -1,0 +1,163 @@
+"""Persistent entity store: resolved records plus a cluster registry.
+
+:class:`EntityStore` is the system-of-record for incremental resolution. It
+holds every resolved record and a union-find partition over record ids;
+each cluster carries a *stable* entity id: the id is assigned when a record
+first arrives, and a merge always keeps the older of the two entity ids, so
+an entity's id never changes as more duplicates of it stream in — only
+younger ids disappear into older ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.data.table import Table
+
+__all__ = ["EntityStore"]
+
+
+class EntityStore:
+    """Record registry with transitive merging and stable entity ids.
+
+    Parameters
+    ----------
+    id_attr:
+        Record-identifier attribute (default ``"id"``). Record ids must be
+        unique across everything ever added — for two-table linkage, prefix
+        the sides (the generated benchmarks' ``L*``/``R*`` ids already are).
+    """
+
+    def __init__(self, id_attr: str = "id"):
+        self.id_attr = id_attr
+        self._records: dict = {}          # rid -> record dict, insertion-ordered
+        self._parent: dict = {}           # union-find parent pointers
+        self._rank: dict = {}             # union-by-rank
+        self._entity_ord: dict = {}       # root rid -> entity creation counter
+        self._next_ord = 0
+
+    # -- growth ----------------------------------------------------------------
+
+    def add(self, record: dict) -> str:
+        """Register one record as a fresh singleton entity; returns its entity id."""
+        rid = record[self.id_attr]
+        if rid in self._records:
+            raise ValueError(f"record id {rid!r} is already in the store")
+        self._records[rid] = dict(record)
+        self._parent[rid] = rid
+        self._rank[rid] = 0
+        self._entity_ord[rid] = self._next_ord
+        self._next_ord += 1
+        return self._entity_label(self._next_ord - 1)
+
+    def add_records(self, records: Iterable[dict] | Table) -> list[str]:
+        """Register many records; returns their (singleton) entity ids."""
+        return [self.add(rec) for rec in records]
+
+    # -- union-find --------------------------------------------------------------
+
+    def _find(self, rid):
+        root = rid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[rid] != root:  # path compression
+            self._parent[rid], rid = root, self._parent[rid]
+        return root
+
+    def merge(self, a_id, b_id) -> str:
+        """Declare two records the same entity; returns the surviving entity id.
+
+        Merging is transitive through the union-find structure: merging
+        (a, b) then (b, c) leaves a, b, c in one cluster. The surviving
+        entity id is the *older* of the two clusters' ids, keeping entity
+        ids stable as evidence accumulates.
+        """
+        ra, rb = self._find(a_id), self._find(b_id)
+        if ra == rb:
+            return self._entity_label(self._entity_ord[ra])
+        keep_ord = min(self._entity_ord[ra], self._entity_ord[rb])
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._entity_ord[ra] = keep_ord
+        del self._entity_ord[rb]
+        return self._entity_label(keep_ord)
+
+    # -- lookup ------------------------------------------------------------------
+
+    @staticmethod
+    def _entity_label(ord_: int) -> str:
+        return f"e{ord_}"
+
+    def entity_of(self, record_id) -> str:
+        """Stable entity id of the cluster containing ``record_id``."""
+        return self._entity_label(self._entity_ord[self._find(record_id)])
+
+    def members(self, entity_id: str) -> list:
+        """Record ids in one entity's cluster (insertion order)."""
+        return self.entities().get(entity_id, [])
+
+    def entities(self) -> dict[str, list]:
+        """``{entity_id: [record_ids]}`` for every cluster, insertion-ordered."""
+        out: dict[str, list] = {}
+        for rid in self._records:
+            out.setdefault(self.entity_of(rid), []).append(rid)
+        return out
+
+    def clusters(self) -> list[frozenset]:
+        """The record-id partition as frozensets (for comparing resolutions)."""
+        return [frozenset(m) for m in self.entities().values()]
+
+    def get(self, record_id) -> dict:
+        """Record with the given id; raises ``KeyError`` if absent."""
+        return self._records[record_id]
+
+    def records(self) -> list[dict]:
+        """All records in insertion order."""
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id) -> bool:
+        return record_id in self._records
+
+    @property
+    def n_entities(self) -> int:
+        return len(self._entity_ord)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EntityStore(n_records={len(self)}, n_entities={self.n_entities})"
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot (records, clusters, entity-id counter)."""
+        return {
+            "id_attr": self.id_attr,
+            "records": self.records(),
+            "entities": {eid: list(m) for eid, m in self.entities().items()},
+            "next_ord": self._next_ord,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EntityStore":
+        """Rebuild a store from :meth:`to_state` output.
+
+        Records are re-registered in their original insertion order and the
+        saved clusters re-merged, so entity ids round-trip exactly.
+        """
+        store = cls(id_attr=state["id_attr"])
+        for rec in state["records"]:
+            store.add(rec)
+        # re-merging re-derives each cluster's ord from its members' adds,
+        # which reproduces the saved entity ids (older member wins)
+        for eid, members in state["entities"].items():
+            for other in members[1:]:
+                merged = store.merge(members[0], other)
+            if len(members) > 1 and merged != eid:
+                raise ValueError(f"store state is inconsistent: {eid} rebuilt as {merged}")
+        store._next_ord = int(state["next_ord"])
+        return store

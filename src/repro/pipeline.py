@@ -92,16 +92,27 @@ class ERPipeline:
         self.co_candidate_cap = int(co_candidate_cap)
         self.generator_: FeatureGenerator | None = None
         self.model_: ZeroER | ZeroERLinkage | None = None
+        self.left_: Table | None = None
+        self.right_: Table | None = None
+        self.result_: ERResult | None = None
 
     def run(self, left: Table, right: Table | None = None) -> ERResult:
         """Resolve entities between two tables (or within one, dedup mode)."""
         timings: dict[str, float] = {}
+        # Clear all fit state up front: a run that raises (or finds no
+        # candidates) must not leave freeze() pairing a previous run's model
+        # with this run's tables.
+        self.generator_ = None
+        self.model_ = None
+        self.result_ = None
+        self.left_, self.right_ = left, right
 
         started = time.perf_counter()
         pairs = self.blocker.block(left, right)
         timings["blocking"] = time.perf_counter() - started
         if not pairs:
-            return ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
+            self.result_ = ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
+            return self.result_
 
         started = time.perf_counter()
         generator = FeatureGenerator().fit(left, right)
@@ -118,12 +129,57 @@ class ERPipeline:
         timings["matching"] = time.perf_counter() - started
         self.model_ = model
 
-        return ERResult(
+        self.result_ = ERResult(
             pairs=pairs,
             scores=model.match_scores_,
             labels=(model.match_scores_ > 0.5).astype(np.int64),
             feature_names=generator.feature_names_,
             seconds=timings,
+        )
+        return self.result_
+
+    def freeze(self, threshold: float = 0.5):
+        """Turn the completed batch run into an :class:`IncrementalResolver`.
+
+        The fitted model and feature generator are frozen as-is; the entity
+        store is seeded with every record of the run's table(s), clustered
+        by the run's predicted matches; the incremental index is built with
+        the pipeline blocker's retrieval parameters (requires a
+        :class:`~repro.blocking.overlap.TokenOverlapBlocker`). In linkage
+        mode the two tables share one store, so their record ids must be
+        disjoint.
+        """
+        from repro.incremental.index import IncrementalTokenIndex
+        from repro.incremental.resolver import IncrementalResolver
+        from repro.incremental.store import EntityStore
+
+        if self.result_ is None:
+            raise RuntimeError("run() must complete before freeze()")
+        if self.model_ is None or self.generator_ is None:
+            raise RuntimeError(
+                "cannot freeze: the run produced no candidate pairs, so no model was fitted"
+            )
+        left, right = self.left_, self.right_
+        if right is not None:
+            shared = set(left.ids()) & set(right.ids())
+            if shared:
+                example = sorted(shared, key=repr)[:3]
+                raise ValueError(
+                    f"cannot freeze: {len(shared)} record ids appear in both tables "
+                    f"(e.g. {example}); the shared entity store needs disjoint ids — "
+                    "prefix each side before running"
+                )
+        index = IncrementalTokenIndex.from_blocker(self.blocker, id_attr=left.id_attr)
+        store = EntityStore(id_attr=left.id_attr)
+        for table in (left, right) if right is not None else (left,):
+            for rec in table:
+                store.add(rec)
+                index.add([rec])
+        for pair, score in zip(self.result_.pairs, self.result_.scores):
+            if score > threshold:
+                store.merge(*pair)
+        return IncrementalResolver(
+            self.generator_, self.model_, index, store, threshold=threshold
         )
 
     def _fit_linkage(self, left, right, pairs, generator, X) -> ZeroERLinkage:

@@ -1,0 +1,103 @@
+"""Tests for the ``fit`` / ``resolve`` CLI subcommands (and ``run`` routing)."""
+
+import csv
+
+import pytest
+
+from repro import load_benchmark
+from repro.__main__ import main
+from repro.data.io import write_csv
+from repro.data.table import Table
+
+
+@pytest.fixture(scope="module")
+def csv_world(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli_incremental")
+    ds = load_benchmark("rest_fz", scale="tiny", seed=4)
+    merged, _ = ds.as_dedup()
+    records = list(merged)
+    base = Table(records[:-10], attributes=merged.attributes)
+    batch = Table(records[-10:], attributes=merged.attributes)
+    write_csv(base, tmp / "base.csv")
+    write_csv(batch, tmp / "batch.csv")
+    write_csv(ds.left, tmp / "left.csv")
+    write_csv(ds.right, tmp / "right.csv")
+    return tmp
+
+
+class TestFitResolveCLI:
+    def test_fit_writes_artifacts(self, csv_world):
+        art = csv_world / "art"
+        code = main(
+            ["fit", "--left", str(csv_world / "base.csv"),
+             "--block-on", "name", "--artifacts", str(art)]
+        )
+        assert code == 0
+        assert (art / "manifest.json").is_file()
+        assert (art / "arrays.npz").is_file()
+
+    def test_resolve_assigns_and_updates_store(self, csv_world):
+        art = csv_world / "art2"
+        assert main(
+            ["fit", "--left", str(csv_world / "base.csv"),
+             "--block-on", "name", "--artifacts", str(art)]
+        ) == 0
+        out = csv_world / "assignments.csv"
+        code = main(
+            ["resolve", "--artifacts", str(art),
+             "--records", str(csv_world / "batch.csv"), "-o", str(out)]
+        )
+        assert code == 0
+        with out.open(newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+        assert all(row["entity_id"].startswith("e") for row in rows)
+        # the artifact directory was updated in place: the streamed records
+        # are now part of the store, so re-streaming them is rejected cleanly
+        code = main(
+            ["resolve", "--artifacts", str(art),
+             "--records", str(csv_world / "batch.csv")]
+        )
+        assert code == 2
+
+    def test_resolve_bad_output_path_keeps_batch_retryable(self, csv_world):
+        """An unwritable -o must not persist the store (the batch can re-run)."""
+        art = csv_world / "art3"
+        assert main(
+            ["fit", "--left", str(csv_world / "base.csv"),
+             "--block-on", "name", "--artifacts", str(art)]
+        ) == 0
+        code = main(
+            ["resolve", "--artifacts", str(art),
+             "--records", str(csv_world / "batch.csv"),
+             "-o", str(csv_world / "no-such-dir" / "out.csv")]
+        )
+        assert code == 2
+        # artifacts untouched → the same batch resolves fine on retry
+        assert main(
+            ["resolve", "--artifacts", str(art),
+             "--records", str(csv_world / "batch.csv")]
+        ) == 0
+
+    def test_resolve_bad_artifacts_dir(self, csv_world):
+        code = main(
+            ["resolve", "--artifacts", str(csv_world / "missing"),
+             "--records", str(csv_world / "batch.csv")]
+        )
+        assert code == 2
+
+    def test_fit_bad_block_attribute(self, csv_world):
+        code = main(
+            ["fit", "--left", str(csv_world / "base.csv"),
+             "--block-on", "nope", "--artifacts", str(csv_world / "never")]
+        )
+        assert code == 2
+
+    def test_explicit_run_subcommand_matches_legacy_flat_flags(self, csv_world):
+        """``run`` and the historical no-subcommand spelling are equivalent."""
+        args = ["--left", str(csv_world / "left.csv"),
+                "--right", str(csv_world / "right.csv"), "--block-on", "name"]
+        new, old = csv_world / "m_new.csv", csv_world / "m_old.csv"
+        assert main(["run", *args, "-o", str(new)]) == 0
+        assert main([*args, "-o", str(old)]) == 0
+        assert new.read_text() == old.read_text()
