@@ -8,7 +8,12 @@ ZeroER's grouped covariance relies on (paper §2.1, §3.2).
 """
 
 from repro.features.types import AttributeType, infer_attribute_type
-from repro.features.generator import FeatureGenerator, PairFeature
+from repro.features.generator import (
+    FeatureGenerator,
+    PairFeature,
+    clear_feature_caches,
+    configure_jw_cache,
+)
 from repro.features.normalize import MinMaxNormalizer, impute_nan
 
 __all__ = [
@@ -18,4 +23,6 @@ __all__ = [
     "PairFeature",
     "MinMaxNormalizer",
     "impute_nan",
+    "configure_jw_cache",
+    "clear_feature_caches",
 ]

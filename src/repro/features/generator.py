@@ -8,21 +8,42 @@ correlated feature *groups* that ZeroER's block-diagonal covariance models
 (paper §3.2, Figure 2); the generator therefore reports the group partition
 alongside the matrix.
 
-Record-level preparation (tokenization, float parsing) is cached per record,
-not per pair, so featurizing large candidate sets stays linear in
-``|pairs| + |records|`` tokenizations.
+Featurization is the end-to-end hot path (paper §2.1, §5.5: up to ~100k
+blocked pairs per dataset), so :meth:`FeatureGenerator.transform` scores
+pair batches columnar by default: each ``(attribute, tokenizer)``
+combination is prepared exactly once and shared across all features that
+need it (``jac_qgm3`` / ``cos_qgm3`` / ``dice_qgm3`` reuse one
+tokenization *and* one intersection pass), and the heavy measures dispatch
+to the vectorized kernels in :mod:`repro.text.batch`. The per-pair
+``compute`` methods remain both the reference implementation
+(``engine="per-pair"``) and the automatic fallback for custom
+:class:`PairFeature` subclasses.
 """
 
 from __future__ import annotations
 
 import functools
 import math
+import os
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.data.table import Table
 from repro.features.types import AttributeType, infer_attribute_type
+from repro.text.batch import (
+    batch_jaro_winkler_indexed,
+    batch_levenshtein_similarity_indexed,
+    batch_monge_elkan_jw_indexed,
+    batch_tfidf_cosine_indexed,
+    cosine_from_stats,
+    dice_from_stats,
+    jaccard_from_stats,
+    overlap_from_stats,
+    qgram_pair_stats_indexed,
+    token_pair_stats_indexed,
+)
 from repro.text.similarity import (
     build_idf,
     cosine,
@@ -39,7 +60,12 @@ from repro.text.similarity import (
 )
 from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
 
-__all__ = ["PairFeature", "FeatureGenerator"]
+__all__ = [
+    "PairFeature",
+    "FeatureGenerator",
+    "configure_jw_cache",
+    "clear_feature_caches",
+]
 
 _NAN = float("nan")
 
@@ -49,8 +75,15 @@ class PairFeature:
 
     Subclasses override :meth:`prepare` (record value → cached
     representation) and :meth:`compute` (two prepared values → similarity in
-    [0, 1] or NaN).
+    [0, 1] or NaN). Built-in subclasses additionally implement
+    :meth:`batch_scores` so the generator can score whole pair batches with
+    the vectorized kernels; custom subclasses inherit the default (``None``
+    → the generator falls back to per-pair :meth:`compute`).
     """
+
+    #: Coarse feature family (``token`` / ``edit`` / ``hybrid`` / ``tfidf``
+    #: / ``exact`` / ``numeric``), used by benchmarks for breakdowns.
+    family = "custom"
 
     def __init__(self, name: str, attribute: str):
         self.name = name
@@ -64,12 +97,22 @@ class PairFeature:
     def compute(self, a, b) -> float:
         raise NotImplementedError
 
+    def batch_scores(self, ctx: "_BatchContext") -> np.ndarray | None:
+        """Vectorized column for the context's pair batch, or ``None``.
+
+        ``None`` means "no batch kernel for this feature": the generator
+        scores it with :meth:`compute` per pair instead.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r})"
 
 
 class _StringFeature(PairFeature):
     """Edit-based feature on raw strings (Levenshtein, Jaro–Winkler, ...)."""
+
+    family = "edit"
 
     def __init__(self, name, attribute, sim_func):
         super().__init__(name, attribute)
@@ -79,6 +122,27 @@ class _StringFeature(PairFeature):
         if a is None or b is None:
             return _NAN
         return float(self.sim_func(a, b))
+
+    def batch_scores(self, ctx):
+        if self.sim_func is levenshtein_similarity:
+            kernel = batch_levenshtein_similarity_indexed
+        elif self.sim_func is jaro_winkler:
+            kernel = batch_jaro_winkler_indexed
+        else:
+            return None
+        rows_a, rows_b = ctx.record_strings(self.attribute)
+        return kernel(rows_a, ctx.ua, rows_b, ctx.ub)
+
+
+#: Set-semantics measures with a stats-based batch kernel: they all derive
+#: from the same per-pair intersection counts, computed once per
+#: ``(attribute, tokenizer)`` and shared through the context.
+_SET_MEASURE_KERNELS = {
+    jaccard: jaccard_from_stats,
+    cosine: cosine_from_stats,
+    dice: dice_from_stats,
+    overlap_coefficient: overlap_from_stats,
+}
 
 
 class _TokenFeature(PairFeature):
@@ -94,6 +158,7 @@ class _TokenFeature(PairFeature):
         self.sim_func = sim_func
         self.tokenizer = tokenizer
         self.as_set = as_set
+        self.family = "token" if as_set else "hybrid"
 
     def prepare(self, value):
         if value is None:
@@ -106,11 +171,62 @@ class _TokenFeature(PairFeature):
             return _NAN
         return float(self.sim_func(a, b))
 
+    def batch_scores(self, ctx):
+        if self.as_set:
+            kernel = _SET_MEASURE_KERNELS.get(self.sim_func)
+            if kernel is None:
+                return None
+            return kernel(ctx.token_stats(self.attribute, self.tokenizer))
+        if self.sim_func is _monge_elkan_jw:
+            rows_a, rows_b = ctx.record_token_tuples(self.attribute, self.tokenizer)
+            # None when over the expansion budget → per-pair fallback
+            return batch_monge_elkan_jw_indexed(rows_a, ctx.ua, rows_b, ctx.ub)
+        return None
+
+
+def _default_jw_cache_size() -> int:
+    """Cache bound for the shared Jaro–Winkler token cache.
+
+    Configurable through the ``REPRO_JW_CACHE_SIZE`` environment variable
+    (0 disables caching entirely); malformed values fall back to the
+    built-in default.
+    """
+    raw = os.environ.get("REPRO_JW_CACHE_SIZE")
+    if raw is None:
+        return 1 << 20
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 1 << 20
+
 
 #: Monge–Elkan's inner similarity is evaluated on *tokens*, which repeat
 #: heavily across a candidate set; caching turns the quadratic token-pair
-#: work into dictionary lookups after warm-up.
-_cached_jaro_winkler = functools.lru_cache(maxsize=1 << 20)(jaro_winkler)
+#: work into dictionary lookups after warm-up. ``_monge_elkan_jw`` looks the
+#: cache up through the module global, so :func:`configure_jw_cache` can
+#: swap it at runtime.
+_cached_jaro_winkler = functools.lru_cache(maxsize=_default_jw_cache_size())(jaro_winkler)
+
+
+def configure_jw_cache(maxsize: int | None) -> None:
+    """Rebuild the shared Monge–Elkan token cache with a new size bound.
+
+    ``maxsize=None`` means unbounded (only safe for short-lived processes);
+    ``0`` disables caching. Replacing the cache also drops all cached
+    entries.
+    """
+    global _cached_jaro_winkler
+    _cached_jaro_winkler = functools.lru_cache(maxsize=maxsize)(jaro_winkler)
+
+
+def clear_feature_caches() -> None:
+    """Release the shared token-similarity cache.
+
+    Long-running incremental resolvers call this between batches (see
+    :meth:`repro.incremental.resolver.IncrementalResolver.clear_caches`) so
+    featurization caches cannot grow without bound.
+    """
+    _cached_jaro_winkler.cache_clear()
 
 
 def _monge_elkan_jw(a, b) -> float:
@@ -118,12 +234,25 @@ def _monge_elkan_jw(a, b) -> float:
 
 
 class _TfidfFeature(PairFeature):
-    """TF-IDF cosine; idf weights are supplied by the fitted generator."""
+    """TF-IDF cosine; idf weights are supplied by the fitted generator.
+
+    ``default_idf`` (the fallback weight for unseen tokens) is precomputed
+    when the idf table is fitted — recomputing ``max(idf.values())`` per
+    pair would cost O(vocabulary) per call.
+    """
+
+    family = "tfidf"
 
     def __init__(self, name, attribute, tokenizer):
         super().__init__(name, attribute)
         self.tokenizer = tokenizer
         self.idf: dict[str, float] = {}
+        self.default_idf: float = 1.0
+
+    def set_idf(self, idf: dict[str, float]) -> None:
+        """Install a fitted idf table and precompute the unseen-token weight."""
+        self.idf = idf
+        self.default_idf = max(idf.values(), default=1.0)
 
     def prepare(self, value):
         if value is None:
@@ -133,16 +262,48 @@ class _TfidfFeature(PairFeature):
     def compute(self, a, b) -> float:
         if a is None or b is None:
             return _NAN
-        return float(tfidf_cosine(a, b, self.idf))
+        return float(tfidf_cosine(a, b, self.idf, default_idf=self.default_idf))
+
+    def batch_scores(self, ctx):
+        rows_a, rows_b = ctx.record_token_lists(self.attribute, self.tokenizer)
+        return batch_tfidf_cosine_indexed(
+            rows_a, ctx.ua, rows_b, ctx.ub, self.idf, self.default_idf
+        )
 
 
 class _ExactFeature(PairFeature):
+    family = "exact"
+
     def compute(self, a, b) -> float:
         return exact_match(a, b)
+
+    def batch_scores(self, ctx):
+        strings_a, strings_b = ctx.pair_strings(self.attribute)
+        return np.fromiter(
+            (
+                _NAN if (a is None or b is None) else (1.0 if a == b else 0.0)
+                for a, b in zip(strings_a, strings_b)
+            ),
+            dtype=np.float64,
+            count=ctx.n,
+        )
+
+
+def _parse_number(value):
+    """Float parse used by numeric features; non-finite → missing."""
+    if value is None:
+        return None
+    try:
+        parsed = float(value)
+    except (TypeError, ValueError):
+        return None
+    return parsed if math.isfinite(parsed) else None
 
 
 class _NumericFeature(PairFeature):
     """Numeric similarity; ``scale`` is set from the data during fit."""
+
+    family = "numeric"
 
     def __init__(self, name, attribute, kind: str):
         super().__init__(name, attribute)
@@ -152,13 +313,7 @@ class _NumericFeature(PairFeature):
         self.scale = 1.0
 
     def prepare(self, value):
-        if value is None:
-            return None
-        try:
-            parsed = float(value)
-        except (TypeError, ValueError):
-            return None
-        return parsed if math.isfinite(parsed) else None
+        return _parse_number(value)
 
     def compute(self, a, b) -> float:
         if a is None or b is None:
@@ -166,6 +321,18 @@ class _NumericFeature(PairFeature):
         if self.kind == "absolute":
             return numeric_absolute_similarity(a, b, scale=self.scale)
         return numeric_relative_similarity(a, b)
+
+    def batch_scores(self, ctx):
+        a, b = ctx.pair_numbers(self.attribute)
+        diff = np.abs(a - b)  # NaN (missing) propagates through
+        if self.kind == "absolute":
+            if self.scale <= 0:
+                raise ValueError(f"scale must be positive, got {self.scale}")
+            return np.exp(-diff / self.scale)
+        denom = np.maximum(np.abs(a), np.abs(b))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.maximum(0.0, 1.0 - diff / denom)
+        return np.where(denom == 0.0, 1.0, out)
 
 
 def _features_for_type(attribute: str, attr_type: AttributeType) -> list[PairFeature]:
@@ -201,6 +368,214 @@ def _features_for_type(attribute: str, attr_type: AttributeType) -> list[PairFea
         _TfidfFeature(f"{attribute}_tfidf_wrd", attribute, word),
         _TokenFeature(f"{attribute}_ovl_wrd", attribute, overlap_coefficient, word),
     ]
+
+
+def _tokenizer_cache_key(tokenizer) -> tuple:
+    """Configuration-level identity so equal tokenizers share preparation.
+
+    Distinct-but-identical tokenizer instances (one per attribute in
+    :func:`_features_for_type`, or rebuilt by ``from_state``) must map to
+    the same prepared-token cache entry.
+    """
+    if isinstance(tokenizer, QgramTokenizer):
+        return ("qgm", tokenizer.q, tokenizer.padded, tokenizer.lowercase)
+    if isinstance(tokenizer, WhitespaceTokenizer):
+        return ("wrd", tokenizer.lowercase)
+    return ("obj", id(tokenizer))
+
+
+class _BatchContext:
+    """Shared per-``transform`` preparation caches for one pair batch.
+
+    Everything derived from record values — raw strings, token lists, token
+    sets, parsed numbers, and per-pair intersection stats — is computed at
+    most once per ``(side, attribute, representation)`` and shared by every
+    feature column that needs it. Prepared values are exposed both as
+    insertion-ordered row lists (for the record-indexed batch kernels,
+    addressed by the precomputed ``ua``/``ub`` row indices) and as
+    per-record-id dicts (for the per-pair fallback). In dedup mode both
+    sides alias the same caches, so the kernels see the *same* row-list
+    object and share one encoding.
+    """
+
+    def __init__(self, left, right, pairs: Sequence[tuple]):
+        self.pairs = pairs
+        self.n = len(pairs)
+        self.a_ids = [a for a, _ in pairs]
+        self.b_ids = [b for _, b in pairs]
+        a_idset = set(self.a_ids)
+        b_idset = set(self.b_ids)
+        self._same = right is None
+        if self._same:
+            a_idset |= b_idset
+        self._recs_a = {rid: left.get(rid) for rid in a_idset}
+        self._recs_b = (
+            self._recs_a if self._same else {rid: right.get(rid) for rid in b_idset}
+        )
+        pos_a = {rid: i for i, rid in enumerate(self._recs_a)}
+        pos_b = pos_a if self._same else {rid: i for i, rid in enumerate(self._recs_b)}
+        #: Per-pair row indices into each side's record-ordered preparations.
+        self.ua = np.fromiter((pos_a[i] for i in self.a_ids), dtype=np.int64, count=self.n)
+        self.ub = np.fromiter((pos_b[i] for i in self.b_ids), dtype=np.int64, count=self.n)
+        self._prep: dict = {}
+        self._rows: dict = {}
+        self._stats: dict = {}
+
+    # -- cached per-record preparations -------------------------------------
+
+    def prepared(self, side: str, attribute: str, kind, prepare_fn) -> dict:
+        """``{record_id: prepare_fn(value)}`` for one side, cached by kind."""
+        if self._same:
+            side = "a"
+        key = (side, attribute, kind)
+        found = self._prep.get(key)
+        if found is None:
+            records = self._recs_a if side == "a" else self._recs_b
+            found = {rid: prepare_fn(rec.get(attribute)) for rid, rec in records.items()}
+            self._prep[key] = found
+        return found
+
+    def _prepared_rows(self, side: str, attribute: str, kind, prepare_fn) -> list:
+        """Row-ordered view of :meth:`prepared`, cached so that both sides of
+        a dedup batch return the identical list object (the kernels use
+        ``is`` to share one encoding)."""
+        if self._same:
+            side = "a"
+        key = (side, attribute, kind)
+        rows = self._rows.get(key)
+        if rows is None:
+            rows = list(self.prepared(side, attribute, kind, prepare_fn).values())
+            self._rows[key] = rows
+        return rows
+
+    @staticmethod
+    def _tokenize_prep(tokenizer):
+        """The single (cache kind, prepare fn) pair for one tokenizer config."""
+        kind = ("tok", _tokenizer_cache_key(tokenizer))
+        return kind, lambda v: None if v is None else tokenizer(str(v))
+
+    def _token_lists(self, side, attribute, tokenizer) -> dict:
+        kind, fn = self._tokenize_prep(tokenizer)
+        return self.prepared(side, attribute, kind, fn)
+
+    def _derived_tokens(self, side, attribute, tokenizer, kind_tag, convert) -> dict:
+        if self._same:
+            side = "a"
+        key = (side, attribute, (kind_tag, _tokenizer_cache_key(tokenizer)))
+        found = self._prep.get(key)
+        if found is None:
+            lists = self._token_lists(side, attribute, tokenizer)
+            found = {
+                rid: None if tokens is None else convert(tokens)
+                for rid, tokens in lists.items()
+            }
+            self._prep[key] = found
+        return found
+
+    def token_sets(self, side, attribute, tokenizer) -> dict:
+        return self._derived_tokens(side, attribute, tokenizer, "set", frozenset)
+
+    def token_tuples(self, side, attribute, tokenizer) -> dict:
+        return self._derived_tokens(side, attribute, tokenizer, "tuple", tuple)
+
+    # -- record-indexed views for the batch kernels --------------------------
+
+    @staticmethod
+    def _to_str(value):
+        return None if value is None else str(value)
+
+    def record_strings(self, attribute: str) -> tuple[list, list]:
+        return (
+            self._prepared_rows("a", attribute, "str", self._to_str),
+            self._prepared_rows("b", attribute, "str", self._to_str),
+        )
+
+    def record_token_lists(self, attribute: str, tokenizer) -> tuple[list, list]:
+        kind, fn = self._tokenize_prep(tokenizer)
+        return (
+            self._prepared_rows("a", attribute, kind, fn),
+            self._prepared_rows("b", attribute, kind, fn),
+        )
+
+    def record_token_tuples(self, attribute: str, tokenizer) -> tuple[list, list]:
+        rows = []
+        for side in ("a", "b"):
+            if self._same:
+                side = "a"
+            key = (side, attribute, ("tuple-rows", _tokenizer_cache_key(tokenizer)))
+            found = self._rows.get(key)
+            if found is None:
+                found = list(self.token_tuples(side, attribute, tokenizer).values())
+                self._rows[key] = found
+            rows.append(found)
+        return rows[0], rows[1]
+
+    def pair_strings(self, attribute: str) -> tuple[list, list]:
+        prep_a = self.prepared("a", attribute, "str", self._to_str)
+        prep_b = self.prepared("b", attribute, "str", self._to_str)
+        return [prep_a[i] for i in self.a_ids], [prep_b[i] for i in self.b_ids]
+
+    def pair_numbers(self, attribute: str) -> tuple[np.ndarray, np.ndarray]:
+        def rows_array(side):
+            rows = self._prepared_rows(side, attribute, "num", _parse_number)
+            return np.fromiter(
+                (_NAN if v is None else v for v in rows), dtype=np.float64, count=len(rows)
+            )
+
+        return rows_array("a")[self.ua], rows_array("b")[self.ub]
+
+    def token_stats(self, attribute: str, tokenizer):
+        """Shared intersection/size stats for all set measures on this pair.
+
+        Padded q-gram tokenizers take the all-numpy fast path (windows over
+        utf-32 code points — no Python token strings are materialized);
+        everything else goes through the generic token-list encoder.
+        """
+        key = (attribute, _tokenizer_cache_key(tokenizer))
+        stats = self._stats.get(key)
+        if stats is None:
+            if isinstance(tokenizer, QgramTokenizer) and (tokenizer.padded or tokenizer.q == 1):
+                rows_a, rows_b = self.record_strings(attribute)
+                stats = qgram_pair_stats_indexed(
+                    rows_a, self.ua, rows_b, self.ub,
+                    q=tokenizer.q, padded=tokenizer.padded, lowercase=tokenizer.lowercase,
+                )
+            else:
+                rows_a, rows_b = self.record_token_lists(attribute, tokenizer)
+                stats = token_pair_stats_indexed(rows_a, self.ua, rows_b, self.ub)
+            self._stats[key] = stats
+        return stats
+
+    # -- fallback ------------------------------------------------------------
+
+    def prepared_for(self, spec: PairFeature) -> tuple[dict, dict]:
+        """Per-record prepared values for a feature's per-pair fallback.
+
+        Token features read the shared tokenization caches (so e.g.
+        Monge–Elkan reuses the word tokens already produced for
+        ``jac_wrd``); everything else prepares through the feature's own
+        :meth:`PairFeature.prepare`, cached per spec.
+        """
+        if isinstance(spec, _TokenFeature):
+            derived = self.token_sets if spec.as_set else self.token_tuples
+            return (
+                derived("a", spec.attribute, spec.tokenizer),
+                derived("b", spec.attribute, spec.tokenizer),
+            )
+        kind = ("spec", id(spec))
+        return (
+            self.prepared("a", spec.attribute, kind, spec.prepare),
+            self.prepared("b", spec.attribute, kind, spec.prepare),
+        )
+
+
+def _per_pair_scores(spec: PairFeature, ctx: _BatchContext) -> np.ndarray:
+    """Reference scoring loop for one feature over the context's pairs."""
+    prep_a, prep_b = ctx.prepared_for(spec)
+    out = np.empty(ctx.n, dtype=np.float64)
+    for i, (a_id, b_id) in enumerate(ctx.pairs):
+        out[i] = spec.compute(prep_a[a_id], prep_b[b_id])
+    return out
 
 
 class FeatureGenerator:
@@ -265,7 +640,7 @@ class FeatureGenerator:
         for spec in specs:
             if isinstance(spec, _TfidfFeature):
                 docs = [spec.tokenizer(str(v)) for v in values if v is not None]
-                spec.idf = build_idf(docs)
+                spec.set_idf(build_idf(docs))
             elif isinstance(spec, _NumericFeature) and spec.kind == "absolute":
                 observed = [spec.prepare(v) for v in values]
                 observed = [v for v in observed if v is not None]
@@ -318,7 +693,7 @@ class FeatureGenerator:
             for spec in specs:
                 fitted = params.get(spec.name)
                 if isinstance(spec, _TfidfFeature) and fitted is not None:
-                    spec.idf = {tok: float(w) for tok, w in fitted["idf"].items()}
+                    spec.set_idf({tok: float(w) for tok, w in fitted["idf"].items()})
                 elif isinstance(spec, _NumericFeature) and fitted is not None:
                     spec.scale = float(fitted["scale"])
             start = len(gen.features_)
@@ -352,6 +727,9 @@ class FeatureGenerator:
         left: Table,
         right: Table | None,
         pairs: Sequence[tuple],
+        *,
+        engine: str = "batch",
+        timings: dict[str, float] | None = None,
     ) -> np.ndarray:
         """Feature matrix for ``pairs``; one row per pair, one column per feature.
 
@@ -361,28 +739,30 @@ class FeatureGenerator:
         linear in the pair batch, not the table size; any record source with
         ``.get(record_id) -> dict`` (a :class:`~repro.data.table.Table` or an
         :class:`~repro.incremental.store.EntityStore`) is accepted.
+
+        ``engine="batch"`` (default) scores columns with the vectorized
+        kernels in :mod:`repro.text.batch`, sharing tokenization and
+        intersection work across features; ``engine="per-pair"`` forces the
+        reference per-pair path (same values — the parity tests assert it).
+        Pass a dict as ``timings`` to collect per-feature wall-clock seconds
+        (shared preparation is attributed to the first feature that
+        triggers it).
         """
         self._check_fitted()
+        if engine not in ("batch", "per-pair"):
+            raise ValueError(f"engine must be 'batch' or 'per-pair', got {engine!r}")
         n, d = len(pairs), len(self.features_)
         X = np.empty((n, d), dtype=np.float64)
-        # Prepare only records that actually appear in ``pairs``: incremental
-        # resolution scores tiny pair batches against large stores, where
-        # preparing every record would dominate the featurization cost.
-        left_ids = {a_id for a_id, _ in pairs}
-        right_ids = {b_id for _, b_id in pairs}
-        if right is None:
-            left_ids |= right_ids
+        if n == 0 or d == 0:
+            return X
+        ctx = _BatchContext(left, right, pairs)
+        use_batch = engine == "batch"
         for j, spec in enumerate(self.features_):
-            left_prep = {
-                rid: spec.prepare(left.get(rid).get(spec.attribute)) for rid in left_ids
-            }
-            if right is None:
-                right_prep = left_prep
-            else:
-                right_prep = {
-                    rid: spec.prepare(right.get(rid).get(spec.attribute)) for rid in right_ids
-                }
-            column = X[:, j]
-            for i, (a_id, b_id) in enumerate(pairs):
-                column[i] = spec.compute(left_prep[a_id], right_prep[b_id])
+            started = time.perf_counter() if timings is not None else 0.0
+            column = spec.batch_scores(ctx) if use_batch else None
+            if column is None:
+                column = _per_pair_scores(spec, ctx)
+            X[:, j] = column
+            if timings is not None:
+                timings[spec.name] = time.perf_counter() - started
         return X

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.linkage import ZeroERLinkage
 from repro.core.model import ZeroER
-from repro.features.generator import FeatureGenerator
+from repro.features.generator import FeatureGenerator, clear_feature_caches
 from repro.incremental.artifacts import load_artifacts, save_artifacts
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import EntityStore
@@ -76,6 +76,12 @@ class IncrementalResolver:
         Entity store holding previously resolved records.
     threshold:
         Match probability threshold (default 0.5, the paper's γ > 0.5 rule).
+    engine:
+        Featurization engine forwarded to
+        :meth:`~repro.features.generator.FeatureGenerator.transform`
+        (``"batch"`` by default — small arriving batches go through the
+        same columnar kernels as the bulk pipeline; ``"per-pair"`` forces
+        the reference path, used by the parity tests).
     """
 
     def __init__(
@@ -85,9 +91,12 @@ class IncrementalResolver:
         index: IncrementalTokenIndex,
         store: EntityStore,
         threshold: float = 0.5,
+        engine: str = "batch",
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if engine not in ("batch", "per-pair"):
+            raise ValueError(f"engine must be 'batch' or 'per-pair', got {engine!r}")
         if len(index) != len(store):
             raise ValueError(
                 f"index covers {len(index)} records but the store holds {len(store)}"
@@ -97,6 +106,7 @@ class IncrementalResolver:
         self.index = index
         self.store = store
         self.threshold = float(threshold)
+        self.engine = engine
 
     # -- resolution --------------------------------------------------------------
 
@@ -137,7 +147,7 @@ class IncrementalResolver:
 
         if pairs:
             started = time.perf_counter()
-            X = self.generator.transform(self.store, None, pairs)
+            X = self.generator.transform(self.store, None, pairs, engine=self.engine)
             timings["features"] = time.perf_counter() - started
             started = time.perf_counter()
             scores = self.model.predict_proba(X)
@@ -158,6 +168,17 @@ class IncrementalResolver:
             seconds=timings,
         )
 
+    def clear_caches(self) -> None:
+        """Release shared featurization caches (Monge–Elkan token cache).
+
+        Long-running serving processes resolve unbounded record streams; the
+        token-similarity cache is an LRU bounded by
+        ``REPRO_JW_CACHE_SIZE`` / :func:`repro.features.configure_jw_cache`,
+        but callers that want deterministic memory ceilings can drop it
+        between batches at a small warm-up cost.
+        """
+        clear_feature_caches()
+
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
@@ -170,6 +191,7 @@ class IncrementalResolver:
         extra = {
             "resolver": {
                 "threshold": self.threshold,
+                "engine": self.engine,
                 "index": self.index.params(),
                 "store": self.store.to_state(),
             }
@@ -184,4 +206,12 @@ class IncrementalResolver:
         store = EntityStore.from_state(payload["store"])
         index = IncrementalTokenIndex.from_params(payload["index"])
         index.add(store.records())
-        return cls(generator, model, index, store, threshold=payload["threshold"])
+        return cls(
+            generator,
+            model,
+            index,
+            store,
+            threshold=payload["threshold"],
+            # artifacts written before the engine knob existed default to batch
+            engine=payload.get("engine", "batch"),
+        )

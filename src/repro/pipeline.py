@@ -74,6 +74,11 @@ class ERPipeline:
     co_candidate_cap:
         Per-anchor cap when deriving within-table candidate sets for the
         linkage transitivity coupling.
+    feature_engine:
+        Featurization engine forwarded to
+        :meth:`~repro.features.generator.FeatureGenerator.transform`:
+        ``"batch"`` (default, columnar kernels) or ``"per-pair"`` (the
+        reference scoring loop).
     """
 
     def __init__(
@@ -82,14 +87,20 @@ class ERPipeline:
         blocking_attribute: str | None = None,
         config: ZeroERConfig | None = None,
         co_candidate_cap: int = 10,
+        feature_engine: str = "batch",
     ):
         if blocker is None:
             if blocking_attribute is None:
                 raise ValueError("provide either a blocker or a blocking_attribute")
             blocker = TokenOverlapBlocker(blocking_attribute, min_overlap=1, top_k=60)
+        if feature_engine not in ("batch", "per-pair"):
+            raise ValueError(
+                f"feature_engine must be 'batch' or 'per-pair', got {feature_engine!r}"
+            )
         self.blocker = blocker
         self.config = config if config is not None else ZeroERConfig()
         self.co_candidate_cap = int(co_candidate_cap)
+        self.feature_engine = feature_engine
         self.generator_: FeatureGenerator | None = None
         self.model_: ZeroER | ZeroERLinkage | None = None
         self.left_: Table | None = None
@@ -116,7 +127,7 @@ class ERPipeline:
 
         started = time.perf_counter()
         generator = FeatureGenerator().fit(left, right)
-        X = generator.transform(left, right, pairs)
+        X = generator.transform(left, right, pairs, engine=self.feature_engine)
         timings["features"] = time.perf_counter() - started
         self.generator_ = generator
 
@@ -179,14 +190,24 @@ class ERPipeline:
             if score > threshold:
                 store.merge(*pair)
         return IncrementalResolver(
-            self.generator_, self.model_, index, store, threshold=threshold
+            self.generator_,
+            self.model_,
+            index,
+            store,
+            threshold=threshold,
+            engine=self.feature_engine,
         )
 
     def _fit_linkage(self, left, right, pairs, generator, X) -> ZeroERLinkage:
         left_pairs = co_candidate_pairs(pairs, side=0, cap=self.co_candidate_cap)
         right_pairs = co_candidate_pairs(pairs, side=1, cap=self.co_candidate_cap)
-        X_left = generator.transform(left, None, left_pairs) if left_pairs else None
-        X_right = generator.transform(right, None, right_pairs) if right_pairs else None
+        engine = self.feature_engine
+        X_left = (
+            generator.transform(left, None, left_pairs, engine=engine) if left_pairs else None
+        )
+        X_right = (
+            generator.transform(right, None, right_pairs, engine=engine) if right_pairs else None
+        )
         model = ZeroERLinkage(self.config)
         model.fit(
             X,

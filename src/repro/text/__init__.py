@@ -18,6 +18,24 @@ from repro.text.tokenizers import (
     QgramTokenizer,
     WhitespaceTokenizer,
 )
+from repro.text.batch import (
+    TokenPairStats,
+    batch_jaro_winkler,
+    batch_jaro_winkler_indexed,
+    batch_levenshtein_similarity,
+    batch_levenshtein_similarity_indexed,
+    batch_monge_elkan_jw,
+    batch_monge_elkan_jw_indexed,
+    batch_tfidf_cosine,
+    batch_tfidf_cosine_indexed,
+    cosine_from_stats,
+    dice_from_stats,
+    jaccard_from_stats,
+    overlap_from_stats,
+    qgram_pair_stats_indexed,
+    token_pair_stats,
+    token_pair_stats_indexed,
+)
 from repro.text.phonetic import phonetic_match, soundex
 from repro.text.similarity import (
     cosine,
@@ -59,4 +77,20 @@ __all__ = [
     "numeric_relative_similarity",
     "soundex",
     "phonetic_match",
+    "TokenPairStats",
+    "token_pair_stats",
+    "token_pair_stats_indexed",
+    "qgram_pair_stats_indexed",
+    "jaccard_from_stats",
+    "cosine_from_stats",
+    "dice_from_stats",
+    "overlap_from_stats",
+    "batch_tfidf_cosine",
+    "batch_tfidf_cosine_indexed",
+    "batch_levenshtein_similarity",
+    "batch_levenshtein_similarity_indexed",
+    "batch_jaro_winkler",
+    "batch_jaro_winkler_indexed",
+    "batch_monge_elkan_jw",
+    "batch_monge_elkan_jw_indexed",
 ]

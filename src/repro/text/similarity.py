@@ -321,6 +321,7 @@ def smith_waterman(a: str | None, b: str | None) -> float:
         a, b = b, a
     tb = np.frombuffer(b.encode("utf-32-le"), dtype=np.uint32)
     n = len(b)
+    offsets = np.arange(n + 1, dtype=np.float64)
     prev = np.zeros(n + 1, dtype=np.float64)
     row = np.zeros(n + 1, dtype=np.float64)
     best = 0.0
@@ -328,7 +329,6 @@ def smith_waterman(a: str | None, b: str | None) -> float:
         score = np.where(tb == ord(ch), 1.0, -1.0)
         row[1:] = np.maximum(prev[:-1] + score, prev[1:] - 1.0)
         # left-neighbor gap dependency: row[j] = max(row[j], row[j-1] - 1, 0)
-        offsets = np.arange(n + 1, dtype=np.float64)
         np.maximum(row, 0.0, out=row)
         row[:] = np.maximum.accumulate(row + offsets) - offsets
         np.maximum(row, 0.0, out=row)
