@@ -75,9 +75,10 @@ def test_fig3_singularity_and_regularization(benchmark, capfd):
     emit(capfd, "\nFigure 3 — fitted match variances and M/U marginal overlap per feature")
     emit(capfd, f"(κ = {KAPPA}; overlap = Bhattacharyya coefficient, lower = better separated)")
     for label, entry in results.items():
-        emit(capfd, 
+        emit(
+            capfd,
             f"  {label:9s} var(f1)={entry['f1_var_match']:.5f} var(f2)={entry['f2_var_match']:.5f}"
-            f"  overlap(f1)={entry['f1_overlap']:.3f} overlap(f2)={entry['f2_overlap']:.3f}"
+            f"  overlap(f1)={entry['f1_overlap']:.3f} overlap(f2)={entry['f2_overlap']:.3f}",
         )
 
     # Fig 3(a1): the naive fit collapses f1's match variance (singularity)

@@ -15,7 +15,6 @@ paper, which predicts the held-out remainder).
   good F1 already with ~10% of the pairs.
 """
 
-import numpy as np
 from _bench_utils import DATASET_ORDER, one_shot, emit
 
 from repro.core import ZeroER, ZeroERConfig, ZeroERError

@@ -14,7 +14,7 @@ Run:  python examples/products_hard_matching.py
 import numpy as np
 
 from repro.baselines import RandomForestClassifier, oversample_minority, train_test_split
-from repro.eval import f_score, precision_recall_f1
+from repro.eval import precision_recall_f1
 from repro.eval.harness import prepare_dataset, run_zeroer
 from repro.features.normalize import MinMaxNormalizer, impute_nan
 

@@ -14,7 +14,6 @@ Run:  python examples/publications_linkage.py
 from collections import defaultdict
 
 from repro import ZeroERConfig
-from repro.eval import precision_recall_f1
 from repro.eval.harness import prepare_dataset, run_zeroer
 
 

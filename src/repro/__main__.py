@@ -32,6 +32,7 @@ import csv
 import sys
 from pathlib import Path
 
+from repro.blocking import BLOCKING_ENGINES, candidate_statistics
 from repro.core.config import ZeroERConfig
 from repro.data.io import read_csv
 from repro.eval.matching import greedy_one_to_one, score_threshold_matches
@@ -49,6 +50,12 @@ def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) ->
     parser.add_argument("--id-column", default="id", help="id column name (default: id)")
     parser.add_argument(
         "--block-on", required=True, help="attribute for token-overlap blocking"
+    )
+    parser.add_argument(
+        "--blocking-engine",
+        choices=BLOCKING_ENGINES,
+        default="sparse",
+        help="token-overlap blocking engine (default: sparse, the columnar kernel)",
     )
     if with_output:
         parser.add_argument("-o", "--output", required=True, help="output CSV for scored matches")
@@ -112,9 +119,26 @@ def _load_tables(args):
 
 def _fit_pipeline(args, left, right) -> ERPipeline:
     config = ZeroERConfig(kappa=args.kappa, transitivity=not args.no_transitivity)
-    pipeline = ERPipeline(blocking_attribute=args.block_on, config=config)
+    pipeline = ERPipeline(
+        blocking_attribute=args.block_on,
+        config=config,
+        blocking_engine=args.blocking_engine,
+    )
     pipeline.run(left, right)
     return pipeline
+
+
+def _blocking_report(pairs, left, right) -> str:
+    """One-line candidate-set summary for the ``run`` report."""
+    if right is not None:
+        stats = candidate_statistics(pairs, None, len(left), len(right))
+    else:
+        total = len(left) * (len(left) - 1) // 2
+        stats = candidate_statistics(pairs, None, len(left), len(left), total_pairs=total)
+    return (
+        f"blocking: {stats['n_candidates']} candidate pairs, "
+        f"reduction ratio {stats['reduction_ratio']:.4f}"
+    )
 
 
 def _cmd_run(args) -> int:
@@ -137,6 +161,7 @@ def _cmd_run(args) -> int:
         writer.writerow(["left_id", "right_id", "score"])
         for a, b, score in rows:
             writer.writerow([a, b, f"{score:.6f}"])
+    print(_blocking_report(result.pairs, left, right))
     print(
         f"{len(result.pairs)} candidate pairs scored, {len(rows)} matches written to {out_path}"
     )

@@ -8,9 +8,15 @@ overlap with document-frequency pruning and per-record top-k capping,
 sorted neighborhood, and union composition.
 """
 
-from repro.blocking.base import Blocker, candidate_recall, candidate_statistics
+from repro.blocking.base import Blocker, as_pair_set, candidate_recall, candidate_statistics
 from repro.blocking.attr_equivalence import AttributeEquivalenceBlocker
-from repro.blocking.overlap import TokenOverlapBlocker, rank_overlap_candidates
+from repro.blocking.batch import TokenEncoding, sparse_overlap_pairs, sparse_overlap_select
+from repro.blocking.overlap import (
+    BLOCKING_ENGINES,
+    TokenOverlapBlocker,
+    rank_overlap_candidates,
+    validate_blocking_engine,
+)
 from repro.blocking.qgram import QgramBlocker
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
 from repro.blocking.compose import UnionBlocker
@@ -19,10 +25,16 @@ __all__ = [
     "Blocker",
     "AttributeEquivalenceBlocker",
     "TokenOverlapBlocker",
+    "TokenEncoding",
     "QgramBlocker",
     "SortedNeighborhoodBlocker",
     "UnionBlocker",
+    "BLOCKING_ENGINES",
+    "as_pair_set",
     "candidate_recall",
     "candidate_statistics",
     "rank_overlap_candidates",
+    "sparse_overlap_pairs",
+    "sparse_overlap_select",
+    "validate_blocking_engine",
 ]

@@ -6,7 +6,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.data.table import Table
 
-__all__ = ["Blocker", "candidate_recall", "candidate_statistics"]
+__all__ = ["Blocker", "as_pair_set", "candidate_recall", "candidate_statistics"]
 
 
 class Blocker:
@@ -34,33 +34,59 @@ class Blocker:
         return {rid: pos for pos, rid in enumerate(left.ids())}
 
 
+def as_pair_set(pairs: Iterable[tuple]) -> frozenset | set:
+    """Pairs as a set of tuples, reusing the input when it already is one.
+
+    Callers that keep a pre-built set (e.g. a dataset's gold ``frozenset``)
+    pay nothing; only lists/iterables are materialized, once.
+    """
+    if isinstance(pairs, (set, frozenset)):
+        return pairs
+    return {tuple(p) for p in pairs}
+
+
 def candidate_recall(candidates: Iterable[tuple], gold_matches: Iterable[tuple]) -> float:
     """Fraction of gold matches retained by blocking (recall of Cs).
 
-    Returns 1.0 for an empty gold set (nothing to lose).
+    Returns 1.0 for an empty gold set (nothing to lose). Both arguments may
+    be pre-built sets, which are used as-is.
     """
-    gold = set(tuple(p) for p in gold_matches)
+    gold = as_pair_set(gold_matches)
     if not gold:
         return 1.0
-    cand = set(tuple(p) for p in candidates)
+    cand = as_pair_set(candidates)
     return len(gold & cand) / len(gold)
 
 
 def candidate_statistics(
     candidates: Sequence[tuple],
-    gold_matches: Iterable[tuple],
+    gold_matches: Iterable[tuple] | None,
     n_left: int,
     n_right: int,
+    total_pairs: int | None = None,
 ) -> dict:
-    """Candidate-set quality summary: size, reduction ratio, recall, imbalance."""
-    gold = set(tuple(p) for p in gold_matches)
-    cand = set(tuple(p) for p in candidates)
-    retained_matches = len(gold & cand)
-    total = n_left * n_right
-    return {
+    """Candidate-set quality summary: size, reduction ratio, recall, imbalance.
+
+    Pre-built sets are accepted for both pair arguments and used without
+    another pass. With ``gold_matches=None`` only the label-free statistics
+    (``n_candidates``, ``reduction_ratio``) are computed — the form the CLI
+    report uses, where no gold pairs exist. ``total_pairs`` overrides the
+    ``n_left * n_right`` cross-product denominator (e.g. ``n·(n-1)/2`` for
+    deduplication).
+    """
+    cand = as_pair_set(candidates)
+    total = n_left * n_right if total_pairs is None else total_pairs
+    stats = {
         "n_candidates": len(cand),
         "reduction_ratio": 1.0 - (len(cand) / total if total else 0.0),
-        "recall": (retained_matches / len(gold)) if gold else 1.0,
-        "retained_matches": retained_matches,
-        "match_fraction": (retained_matches / len(cand)) if cand else 0.0,
     }
+    if gold_matches is None:
+        return stats
+    gold = as_pair_set(gold_matches)
+    retained_matches = len(gold & cand)
+    stats.update(
+        recall=(retained_matches / len(gold)) if gold else 1.0,
+        retained_matches=retained_matches,
+        match_fraction=(retained_matches / len(cand)) if cand else 0.0,
+    )
+    return stats

@@ -23,8 +23,20 @@ __all__ = [
     "TokenOverlapBlocker",
     "rank_overlap_candidates",
     "validate_overlap_params",
+    "validate_blocking_engine",
     "record_tokens",
+    "BLOCKING_ENGINES",
 ]
+
+#: Available engines: ``"sparse"`` (columnar CSR kernel, the default) and
+#: ``"per-record"`` (the Counter-per-probe reference loop).
+BLOCKING_ENGINES = ("sparse", "per-record")
+
+
+def validate_blocking_engine(engine: str) -> None:
+    """Reject unknown blocking engine names (shared with the pipeline/CLI)."""
+    if engine not in BLOCKING_ENGINES:
+        raise ValueError(f"engine must be one of {BLOCKING_ENGINES}, got {engine!r}")
 
 
 def validate_overlap_params(min_overlap: int, max_df: float, top_k: int | None) -> None:
@@ -84,6 +96,10 @@ class TokenOverlapBlocker(Blocker):
     top_k:
         If set, keep only the ``top_k`` highest-overlap right candidates per
         left record (ties broken by right row order for determinism).
+    engine:
+        ``"sparse"`` (default) runs the columnar CSR kernel of
+        :mod:`repro.blocking.batch`; ``"per-record"`` runs the reference
+        Counter loop. Both produce bit-identical pair lists.
     """
 
     def __init__(
@@ -93,18 +109,54 @@ class TokenOverlapBlocker(Blocker):
         min_overlap: int = 1,
         max_df: float = 0.2,
         top_k: int | None = None,
+        engine: str = "sparse",
     ):
         validate_overlap_params(min_overlap, max_df, top_k)
+        validate_blocking_engine(engine)
         self.attribute = attribute
         self.tokenizer = tokenizer if tokenizer is not None else WhitespaceTokenizer()
         self.min_overlap = int(min_overlap)
         self.max_df = float(max_df)
         self.top_k = top_k
+        self.engine = engine
 
     def _tokens(self, record: dict) -> set[str]:
         return record_tokens(self.tokenizer, record, self.attribute)
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
+        if self.engine == "sparse":
+            return self._block_sparse(left, right)
+        return self._block_per_record(left, right)
+
+    def _block_sparse(self, left: Table, right: Table | None) -> list[tuple]:
+        # deferred import: batch.py shares this module's token/param contract
+        from repro.blocking.batch import TokenEncoding, sparse_overlap_pairs
+
+        dedup = right is None
+        target = left if dedup else right
+        target_enc = TokenEncoding.encode(
+            target, self.tokenizer, self.attribute, id_attr=target.id_attr
+        )
+        if dedup:
+            probe_enc = target_enc
+        else:
+            probe_enc = TokenEncoding.encode(
+                left,
+                self.tokenizer,
+                self.attribute,
+                id_attr=left.id_attr,
+                vocab=target_enc.vocab,
+            )
+        return sparse_overlap_pairs(
+            probe_enc,
+            target_enc,
+            min_overlap=self.min_overlap,
+            max_df=self.max_df,
+            top_k=self.top_k,
+            dedup=dedup,
+        )
+
+    def _block_per_record(self, left: Table, right: Table | None) -> list[tuple]:
         dedup = right is None
         target = left if dedup else right
         # Inverted index over the target side, with DF pruning.
@@ -127,7 +179,11 @@ class TokenOverlapBlocker(Blocker):
             if dedup:
                 # only pair with later rows, so each unordered pair appears once
                 overlap = Counter(
-                    {rid: count for rid, count in overlap.items() if target_positions[rid] > probe_pos}
+                    {
+                        rid: count
+                        for rid, count in overlap.items()
+                        if target_positions[rid] > probe_pos
+                    }
                 )
             candidates = rank_overlap_candidates(
                 overlap, self.min_overlap, self.top_k, target_positions
@@ -138,5 +194,5 @@ class TokenOverlapBlocker(Blocker):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"TokenOverlapBlocker({self.attribute!r}, min_overlap={self.min_overlap}, "
-            f"top_k={self.top_k})"
+            f"top_k={self.top_k}, engine={self.engine!r})"
         )

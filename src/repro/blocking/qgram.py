@@ -23,6 +23,7 @@ class QgramBlocker(TokenOverlapBlocker):
         min_overlap: int = 2,
         max_df: float = 0.2,
         top_k: int | None = None,
+        engine: str = "sparse",
     ):
         super().__init__(
             attribute,
@@ -30,6 +31,7 @@ class QgramBlocker(TokenOverlapBlocker):
             min_overlap=min_overlap,
             max_df=max_df,
             top_k=top_k,
+            engine=engine,
         )
         self.q = q
 

@@ -21,7 +21,7 @@ See DESIGN.md §4 for the substitution argument.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

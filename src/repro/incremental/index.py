@@ -17,6 +17,9 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable
 
+import numpy as np
+
+from repro.blocking.batch import TokenEncoding, sparse_overlap_select
 from repro.blocking.overlap import (
     TokenOverlapBlocker,
     rank_overlap_candidates,
@@ -108,9 +111,12 @@ class IncrementalTokenIndex:
         self.id_attr = id_attr
         self._postings: dict[str, list] = {}
         self._position: dict = {}  # record id -> insertion order (tie-break)
+        self._snapshot = None  # cached TokenEncoding view, dropped on add()
 
     @classmethod
-    def from_blocker(cls, blocker: TokenOverlapBlocker, id_attr: str = "id") -> "IncrementalTokenIndex":
+    def from_blocker(
+        cls, blocker: TokenOverlapBlocker, id_attr: str = "id"
+    ) -> "IncrementalTokenIndex":
         """An empty index with the same retrieval parameters as ``blocker``."""
         if not isinstance(blocker, TokenOverlapBlocker):
             raise TypeError(
@@ -147,6 +153,8 @@ class IncrementalTokenIndex:
             for tok in self._tokens(rec):
                 self._postings.setdefault(tok, []).append(rid)
             added += 1
+        if added:
+            self._snapshot = None
         return added
 
     # -- retrieval -------------------------------------------------------------
@@ -173,6 +181,59 @@ class IncrementalTokenIndex:
             overlap.pop(probe_id, None)
         k = self.top_k if top_k is None else top_k
         return rank_overlap_candidates(overlap, self.min_overlap, k, self._position)
+
+    def encoding(self):
+        """Sparse snapshot of the current postings as a
+        :class:`~repro.blocking.batch.TokenEncoding` target side.
+
+        Built once and cached until the next :meth:`add` — the shared
+        encoding layer that lets the batch kernel probe a streaming index.
+        """
+        if self._snapshot is None:
+            self._snapshot = TokenEncoding.from_postings(self._postings, self._position)
+        return self._snapshot
+
+    def candidates_batch(
+        self, records: Iterable[dict], top_k: int | None = None
+    ) -> list[list[tuple]]:
+        """Ranked candidates for many probes in one sparse kernel pass.
+
+        Equivalent to calling :meth:`candidates` on each record against the
+        *current* index state (no records are added between probes), but
+        the overlap counting runs through the columnar kernel of
+        :mod:`repro.blocking.batch`. Results are identical, including the
+        ranking contract and the exclusion of probes that are already
+        indexed from their own candidate lists.
+        """
+        records = list(records)
+        if not records or not self._position:
+            return [[] for _ in records]
+        target = self.encoding()
+        probe = TokenEncoding.encode(
+            records,
+            self.tokenizer,
+            self.attribute,
+            id_attr=self.id_attr,
+            vocab=target.vocab,
+        )
+        exclude = np.asarray(
+            [self._position.get(rec.get(self.id_attr), -1) for rec in records],
+            dtype=np.int64,
+        )
+        k = self.top_k if top_k is None else top_k
+        rows, cols, counts = sparse_overlap_select(
+            probe,
+            target,
+            min_overlap=self.min_overlap,
+            max_df=self.max_df,
+            top_k=k,
+            exclude_cols=exclude,
+        )
+        out: list[list[tuple]] = [[] for _ in records]
+        ids = target.ids
+        for r, c, n in zip(rows.tolist(), cols.tolist(), counts.tolist()):
+            out[r].append((ids[c], n))
+        return out
 
     # -- introspection -----------------------------------------------------------
 

@@ -14,13 +14,14 @@ convenience path.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.blocking.base import Blocker
-from repro.blocking.overlap import TokenOverlapBlocker
+from repro.blocking.overlap import TokenOverlapBlocker, validate_blocking_engine
 from repro.core.config import ZeroERConfig
 from repro.core.linkage import ZeroERLinkage
 from repro.core.model import ZeroER
@@ -79,6 +80,12 @@ class ERPipeline:
         :meth:`~repro.features.generator.FeatureGenerator.transform`:
         ``"batch"`` (default, columnar kernels) or ``"per-pair"`` (the
         reference scoring loop).
+    blocking_engine:
+        Blocking engine for token-overlap blockers: ``"sparse"`` (columnar
+        CSR kernel) or ``"per-record"`` (the reference loop). ``None``
+        (default) keeps the blocker's own setting — ``"sparse"`` for the
+        default blocker. Setting it alongside a non-token-overlap
+        ``blocker`` raises ``ValueError``.
     """
 
     def __init__(
@@ -88,11 +95,28 @@ class ERPipeline:
         config: ZeroERConfig | None = None,
         co_candidate_cap: int = 10,
         feature_engine: str = "batch",
+        blocking_engine: str | None = None,
     ):
         if blocker is None:
             if blocking_attribute is None:
                 raise ValueError("provide either a blocker or a blocking_attribute")
-            blocker = TokenOverlapBlocker(blocking_attribute, min_overlap=1, top_k=60)
+            blocker = TokenOverlapBlocker(
+                blocking_attribute,
+                min_overlap=1,
+                top_k=60,
+                engine=blocking_engine if blocking_engine is not None else "sparse",
+            )
+        elif blocking_engine is not None:
+            validate_blocking_engine(blocking_engine)
+            if not isinstance(blocker, TokenOverlapBlocker):
+                raise ValueError(
+                    "blocking_engine applies to TokenOverlapBlocker (and subclasses); "
+                    f"got {type(blocker).__name__}"
+                )
+            if blocker.engine != blocking_engine:
+                # leave the caller's blocker untouched
+                blocker = copy.copy(blocker)
+                blocker.engine = blocking_engine
         if feature_engine not in ("batch", "per-pair"):
             raise ValueError(
                 f"feature_engine must be 'batch' or 'per-pair', got {feature_engine!r}"

@@ -1,0 +1,53 @@
+"""End-to-end quality regression gate.
+
+The full pipeline — generate → block → featurize → EM — runs on two tiny
+fixture datasets and the resulting metrics are compared against checked-in
+baselines (``tests/baselines/*.json``). Blocking is integer-deterministic,
+so the candidate count and blocking recall must match *exactly*; F1 gets a
+small tolerance for cross-platform float wiggle. A quality regression —
+not just a crash — therefore fails CI.
+
+To refresh a baseline after an intentional quality change, re-run the
+metrics (see the JSON fields) and update the file in the same PR.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.blocking import candidate_recall
+from repro.eval.harness import clear_prepared_cache, prepare_dataset, run_zeroer
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+BASELINES = sorted(BASELINE_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    with path.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_baselines_present():
+    assert len(BASELINES) >= 2, "expected at least two checked-in e2e baselines"
+
+
+@pytest.mark.parametrize("path", BASELINES, ids=lambda p: p.stem)
+def test_pipeline_quality_matches_baseline(path):
+    baseline = _load(path)
+    clear_prepared_cache()
+    prep = prepare_dataset(baseline["dataset"], scale=baseline["scale"], seed=baseline["seed"])
+
+    # blocking is deterministic integer work: exact equality
+    assert prep.n_pairs == baseline["n_pairs"], (
+        f"candidate count changed: {prep.n_pairs} vs baseline {baseline['n_pairs']}"
+    )
+    recall = candidate_recall(prep.pairs, prep.dataset.matches)
+    assert recall == pytest.approx(baseline["blocking_recall"], abs=1e-6)
+
+    result = run_zeroer(prep)
+    tolerance = baseline["f1_tolerance"]
+    assert result["f1"] == pytest.approx(baseline["f1"], abs=tolerance), (
+        f"F1 {result['f1']:.4f} drifted beyond ±{tolerance} of "
+        f"baseline {baseline['f1']:.4f} on {baseline['dataset']}"
+    )

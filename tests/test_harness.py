@@ -1,6 +1,5 @@
 """Tests for the experiment harness (on the tiny scale)."""
 
-import numpy as np
 import pytest
 
 from repro.core import ZeroERConfig

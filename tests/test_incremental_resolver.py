@@ -164,7 +164,7 @@ class TestResolverConstruction:
             pipeline.freeze(threshold=1.5)
 
     def test_index_store_size_mismatch(self, fixture_tables):
-        from repro.incremental import EntityStore, IncrementalTokenIndex
+        from repro.incremental import IncrementalTokenIndex
 
         initial, _, _ = fixture_tables
         pipeline = ERPipeline(blocking_attribute="name")

@@ -4,11 +4,10 @@ These run at the tiny scale so the whole file stays under a few seconds.
 """
 
 import numpy as np
-import pytest
 
-from repro import FeatureGenerator, ZeroER, ZeroERLinkage, load_benchmark
+from repro import FeatureGenerator, ZeroER, load_benchmark
 from repro.blocking import TokenOverlapBlocker, candidate_recall
-from repro.eval import f_score, precision_recall_f1, transitive_closure
+from repro.eval import f_score, transitive_closure
 from repro.eval.harness import prepare_dataset, run_zeroer
 
 
