@@ -21,7 +21,7 @@ from repro.blocking import TokenOverlapBlocker
 from repro.data import load_benchmark
 from repro.data.table import Table
 from repro.eval.harness import format_table
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 #: Arriving-batch sizes (cumulative: 10 arrive, then 100 more, then 1000).
 BATCH_SIZES = (10, 100, 1000)

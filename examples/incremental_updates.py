@@ -15,7 +15,7 @@ from pathlib import Path
 
 from repro import IncrementalResolver, load_benchmark
 from repro.data.table import Table
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 
 def main() -> None:

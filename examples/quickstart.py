@@ -1,14 +1,17 @@
-"""Quickstart: unsupervised entity resolution in five steps.
+"""Quickstart: unsupervised entity resolution with the staged session API.
 
-Generates the Fodors-Zagats-style restaurant benchmark, blocks it,
-auto-generates Magellan-style similarity features, fits ZeroER with zero
-labeled examples, and evaluates against the gold matches.
+Generates the Fodors-Zagats-style restaurant benchmark, then runs the three
+pipeline stages one at a time — blocking, automatic featurization, ZeroER
+matching with zero labeled examples — inspecting each typed artifact on the
+way, and evaluates against the gold matches. The one-liner equivalent of
+everything below is::
+
+    result = repro.resolve(dataset.left, dataset.right, blocking_attribute="name")
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FeatureGenerator, ZeroER, load_benchmark
-from repro.blocking import TokenOverlapBlocker, candidate_statistics
+from repro import ERPipeline, load_benchmark
 from repro.eval import precision_recall_f1
 
 
@@ -19,36 +22,41 @@ def main() -> None:
     print(f"right table: {len(dataset.right)} records")
     print(f"gold matches: {dataset.n_matches}")
 
-    # 2. Blocking: cheap candidate generation (token overlap on the name).
-    blocker = TokenOverlapBlocker("name", min_overlap=1, top_k=60)
-    pairs = blocker.block(dataset.left, dataset.right)
-    stats = candidate_statistics(pairs, dataset.matches, len(dataset.left), len(dataset.right))
+    # 2. Open a staged session: each stage is cached and inspectable.
+    pipeline = ERPipeline(blocking_attribute="name")
+    session = pipeline.session(dataset.left, dataset.right)
+
+    # 3. Blocking: cheap candidate generation (token overlap on the name).
+    candidates = session.block()
+    stats = candidates.statistics(dataset.matches)
     print(f"\ncandidates: {stats['n_candidates']}  (blocking recall {stats['recall']:.2f})")
 
-    # 3. Automatic feature generation: types inferred per attribute, several
+    # 4. Automatic feature generation: types inferred per attribute, several
     #    similarity functions per attribute -> feature matrix + groups.
-    generator = FeatureGenerator().fit(dataset.left, dataset.right, dataset.attributes)
-    X = generator.transform(dataset.left, dataset.right, pairs)
-    print(f"features: {X.shape[1]} in {len(generator.feature_groups_)} attribute groups")
-    for attr, attr_type in generator.attribute_types_.items():
+    features = candidates.featurize()
+    print(f"features: {features.shape[1]} in {len(features.feature_groups)} attribute groups")
+    for attr, attr_type in features.generator.attribute_types_.items():
         print(f"  {attr}: {attr_type.value}")
 
-    # 4. Fit ZeroER — no labels anywhere in this call.
-    model = ZeroER()
-    labels = model.fit_predict(X, generator.feature_groups_, pairs)
-    print(f"\nEM converged: {model.converged_} after {model.n_iter_} iterations")
-    print(f"predicted matches: {int(labels.sum())}")
+    # 5. Fit ZeroER — no labels anywhere in this call. Linkage mode with
+    #    transitivity trains the coupled F/Fl/Fr models of paper §5.
+    matches = features.match()
+    print(f"\nmatcher: {type(matches.model).__name__}")
+    print(f"predicted matches: {len(matches.matches)}")
 
-    # 5. Evaluate against gold (only possible because this is a benchmark).
-    y_true = dataset.labels_for(pairs)
-    precision, recall, f1 = precision_recall_f1(y_true, labels)
+    # 6. Evaluate against gold (only possible because this is a benchmark).
+    y_true = dataset.labels_for(matches.pairs)
+    precision, recall, f1 = precision_recall_f1(y_true, matches.labels)
     print(f"precision={precision:.3f} recall={recall:.3f} F1={f1:.3f}")
 
+    # 7. Staged what-if: re-run EM under a stronger regularizer without
+    #    re-blocking or re-featurizing (the cached stages are reused).
+    rematch = session.match(kappa=0.6)
+    print(f"re-matched with κ=0.6: {len(rematch.matches)} predicted matches")
+
     # Bonus: the five most confident matches.
-    scores = model.match_scores_
-    top = sorted(zip(scores, pairs), key=lambda t: -t[0])[:5]
     print("\nmost confident matches:")
-    for score, (left_id, right_id) in top:
+    for (left_id, right_id), score in matches.top_matches(5):
         left_name = dataset.left.get(left_id)["name"]
         right_name = dataset.right.get(right_id)["name"]
         print(f"  γ={score:.3f}  {left_name!r}  <->  {right_name!r}")

@@ -1,25 +1,47 @@
 """repro — a full reproduction of *ZeroER: Entity Resolution using Zero
 Labeled Examples* (SIGMOD 2020).
 
-Top-level convenience exports cover the common workflow::
+The curated top-level facade covers the common workflows::
 
-    from repro import ZeroER, ZeroERConfig, FeatureGenerator, load_benchmark
-    from repro.blocking import TokenOverlapBlocker
+    import repro
 
-    ds = load_benchmark("rest_fz")
-    pairs = TokenOverlapBlocker("name").block(ds.left, ds.right)
-    gen = FeatureGenerator().fit(ds.left, ds.right, ds.attributes)
-    X = gen.transform(ds.left, ds.right, pairs)
-    labels = ZeroER().fit_predict(X, gen.feature_groups_, pairs)
+    # one call: tables in, scored matches out
+    result = repro.resolve(left, right, blocking_attribute="name")
 
-Subpackages: :mod:`repro.core` (the generative model), :mod:`repro.text`
-(similarity functions), :mod:`repro.features` (Magellan-style feature
-generation), :mod:`repro.blocking`, :mod:`repro.data` (tables + benchmark
-generators), :mod:`repro.baselines` (from-scratch supervised/unsupervised
-baselines), :mod:`repro.eval` (metrics + experiment harness),
-:mod:`repro.incremental` (frozen-model artifacts + streaming resolution).
+    # staged: inspect and re-run individual stages
+    session = repro.ERPipeline(blocking_attribute="name").session(left, right)
+    matches = session.block().featurize().match()
+    matches = session.match(kappa=0.4)          # re-match only, cached features
+
+    # declarative: a serializable spec drives the same pipeline
+    result = repro.resolve(left, right, spec="spec.json")
+
+Lower-level pieces remain importable from their subpackages:
+:mod:`repro.core` (the generative model), :mod:`repro.text` (similarity
+functions), :mod:`repro.features` (Magellan-style feature generation),
+:mod:`repro.blocking`, :mod:`repro.data` (tables + benchmark generators),
+:mod:`repro.baselines`, :mod:`repro.eval` (metrics + experiment harness),
+:mod:`repro.incremental` (frozen-model artifacts + streaming resolution),
+and :mod:`repro.api` (the pipeline/session/spec layer re-exported here).
 """
 
+from repro.api import (
+    SPEC_VERSION,
+    BlockingSpec,
+    CandidateSet,
+    ERPipeline,
+    ERResult,
+    FeatureMatrix,
+    FeatureSpec,
+    MatchSet,
+    ModelSpec,
+    OutputSpec,
+    PipelineSpec,
+    ResolutionSession,
+    SpecError,
+    load_spec,
+    resolve,
+)
 from repro.core import (
     EMFailureError,
     InitializationError,
@@ -38,28 +60,40 @@ from repro.incremental import (
     load_artifacts,
     save_artifacts,
 )
-from repro.pipeline import ERPipeline, ERResult
 
-#: The paper's arXiv preprint used the name AutoER; same model.
-AutoER = ZeroER
-
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the model family
     "ZeroER",
-    "AutoER",
     "ZeroERLinkage",
     "ZeroERConfig",
     "ablation_variants",
     "ZeroERError",
     "InitializationError",
     "EMFailureError",
+    # data + features
     "FeatureGenerator",
     "Table",
     "ERDataset",
+    "load_benchmark",
+    # the resolution API
+    "resolve",
+    "load_spec",
     "ERPipeline",
     "ERResult",
-    "load_benchmark",
+    "ResolutionSession",
+    "CandidateSet",
+    "FeatureMatrix",
+    "MatchSet",
+    "PipelineSpec",
+    "BlockingSpec",
+    "FeatureSpec",
+    "ModelSpec",
+    "OutputSpec",
+    "SpecError",
+    "SPEC_VERSION",
+    # incremental resolution
     "EntityStore",
     "IncrementalResolver",
     "IncrementalTokenIndex",
@@ -67,3 +101,28 @@ __all__ = [
     "load_artifacts",
     "__version__",
 ]
+
+#: Deprecated aliases served via module ``__getattr__`` (warn, don't break).
+_DEPRECATED_ALIASES = {
+    # the paper's arXiv preprint used the name AutoER; same model
+    "AutoER": ("ZeroER", lambda: ZeroER),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        replacement, resolve_alias = _DEPRECATED_ALIASES[name]
+        import warnings
+
+        warnings.warn(
+            f"repro.{name} is deprecated; use repro.{replacement} — "
+            "this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve_alias()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_ALIASES))

@@ -1,6 +1,6 @@
 """Command-line entity resolution: ``python -m repro``.
 
-Three subcommands cover the batch and incremental workflows:
+Four subcommands cover the batch, incremental, and declarative workflows:
 
 ``run``
     The full unsupervised batch pipeline on CSV inputs, scored matches to a
@@ -8,13 +8,15 @@ Three subcommands cover the batch and incremental workflows:
 
         python -m repro run --left a.csv --right b.csv --block-on name -o matches.csv
         python -m repro run --left dirty.csv --block-on name -o duplicates.csv  # dedup
+        python -m repro run --left a.csv --right b.csv --spec spec.json -o matches.csv
 
     For backward compatibility the subcommand may be omitted:
     ``python -m repro --left a.csv ...`` is equivalent to ``run``.
 
 ``fit``
     Batch-fit once and freeze the result into an artifact directory
-    (model parameters, feature generator, entity store, index config)::
+    (model parameters, feature generator, entity store, index config, and
+    the pipeline spec for provenance)::
 
         python -m repro fit --left base.csv --block-on name --artifacts art/
 
@@ -23,24 +25,39 @@ Three subcommands cover the batch and incremental workflows:
     store and artifacts are updated in place::
 
         python -m repro resolve --artifacts art/ --records new.csv -o assignments.csv
+
+``spec``
+    Scaffold declarative pipeline spec files for ``--spec``::
+
+        python -m repro spec init --block-on name -o spec.json
+
+``run`` and ``fit`` accept either ``--block-on`` (flag-built pipeline) or
+``--spec spec.json`` (declarative pipeline); explicit flags like ``--kappa``
+override the corresponding spec values.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
 from pathlib import Path
 
-from repro.blocking import BLOCKING_ENGINES, candidate_statistics
+from repro.api import (
+    BlockingSpec,
+    ERPipeline,
+    ModelSpec,
+    OutputSpec,
+    PipelineSpec,
+    SpecError,
+    load_spec,
+)
+from repro.blocking import BLOCKING_ENGINES, TokenOverlapBlocker, candidate_statistics
 from repro.core.config import ZeroERConfig
 from repro.data.io import read_csv
-from repro.eval.matching import greedy_one_to_one, score_threshold_matches
-from repro.pipeline import ERPipeline
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "fit", "resolve")
+_SUBCOMMANDS = ("run", "fit", "resolve", "spec")
 
 
 def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) -> None:
@@ -49,18 +66,33 @@ def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) ->
     parser.add_argument("--right", help="right table CSV; omit for deduplication of --left")
     parser.add_argument("--id-column", default="id", help="id column name (default: id)")
     parser.add_argument(
-        "--block-on", required=True, help="attribute for token-overlap blocking"
+        "--block-on",
+        help="attribute for token-overlap blocking (or use --spec)",
+    )
+    parser.add_argument(
+        "--spec",
+        help="declarative pipeline spec JSON (see: python -m repro spec init)",
     )
     parser.add_argument(
         "--blocking-engine",
         choices=BLOCKING_ENGINES,
-        default="sparse",
+        default=None,
         help="token-overlap blocking engine (default: sparse, the columnar kernel)",
     )
     if with_output:
         parser.add_argument("-o", "--output", required=True, help="output CSV for scored matches")
-    parser.add_argument("--threshold", type=float, default=0.5, help="match threshold on γ")
-    parser.add_argument("--kappa", type=float, default=0.15, help="regularization strength κ")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="match threshold on γ (default: 0.5, or the spec's output threshold)",
+    )
+    parser.add_argument(
+        "--kappa",
+        type=float,
+        default=None,
+        help="regularization strength κ (default: 0.15, or the spec's value)",
+    )
     parser.add_argument(
         "--no-transitivity", action="store_true", help="disable transitivity calibration"
     )
@@ -102,13 +134,37 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="optional CSV for record→entity assignments"
     )
     resolve.set_defaults(func=_cmd_resolve)
+
+    spec = sub.add_parser("spec", help="scaffold declarative pipeline spec files")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    init = spec_sub.add_parser(
+        "init", help="write a default PipelineSpec JSON (edit it, then pass via --spec)"
+    )
+    init.add_argument(
+        "--block-on", required=True, help="attribute for token-overlap blocking"
+    )
+    init.add_argument(
+        "-o", "--output", help="path to write the spec JSON (default: stdout)"
+    )
+    init.add_argument("--threshold", type=float, default=0.5, help="match threshold on γ")
+    init.add_argument("--kappa", type=float, default=0.15, help="regularization strength κ")
+    init.add_argument(
+        "--no-transitivity", action="store_true", help="disable transitivity calibration"
+    )
+    init.add_argument(
+        "--blocking-engine",
+        choices=BLOCKING_ENGINES,
+        default="sparse",
+        help="token-overlap blocking engine (default: sparse)",
+    )
+    init.set_defaults(func=_cmd_spec_init)
     return parser
 
 
 def _load_tables(args):
     left = read_csv(Path(args.left), id_attr=args.id_column)
     right = read_csv(Path(args.right), id_attr=args.id_column) if args.right else None
-    if args.block_on not in left.attributes:
+    if args.block_on and args.block_on not in left.attributes:
         print(
             f"error: --block-on attribute {args.block_on!r} not in the left table",
             file=sys.stderr,
@@ -117,15 +173,84 @@ def _load_tables(args):
     return left, right, 0
 
 
-def _fit_pipeline(args, left, right) -> ERPipeline:
-    config = ZeroERConfig(kappa=args.kappa, transitivity=not args.no_transitivity)
+def _blocker_attributes(blocker) -> list:
+    """Every attribute a blocker (or its union members) blocks on."""
+    from repro.blocking import UnionBlocker
+
+    if isinstance(blocker, UnionBlocker):
+        return [a for member in blocker.blockers for a in _blocker_attributes(member)]
+    attribute = getattr(blocker, "attribute", None)
+    return [attribute] if attribute is not None else []
+
+
+def _check_blocking_attributes(pipeline, left) -> int:
+    """Spec-built blockers must reference real columns, like --block-on does."""
+    missing = sorted(
+        {a for a in _blocker_attributes(pipeline.blocker) if a not in left.attributes}
+    )
+    if missing:
+        print(
+            f"error: spec blocking attribute(s) {missing} not in the left table",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _build_pipeline(args):
+    """``(pipeline, threshold, one_to_one, exit_code)`` from flags + optional spec.
+
+    With ``--spec`` the pipeline comes from the spec file and explicit flags
+    (``--kappa``, ``--threshold``, ``--no-transitivity``,
+    ``--blocking-engine``) override the corresponding spec values.
+    """
+    one_to_one = bool(getattr(args, "one_to_one", False))
+    if args.spec:
+        if args.block_on:
+            print("error: pass either --spec or --block-on, not both", file=sys.stderr)
+            return None, 0.0, False, 2
+        try:
+            spec = load_spec(args.spec)
+        except (SpecError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None, 0.0, False, 2
+        config = spec.model.config
+        if args.kappa is not None:
+            config = config.replace(kappa=args.kappa)
+        if args.no_transitivity:
+            config = config.replace(transitivity=False)
+        threshold = args.threshold if args.threshold is not None else spec.output.threshold
+        one_to_one = one_to_one or spec.output.one_to_one
+        try:
+            pipeline = ERPipeline(
+                blocker=spec.blocking.build(),
+                config=config,
+                co_candidate_cap=spec.model.co_candidate_cap,
+                feature_engine=spec.features.engine,
+                type_overrides=spec.features.build_overrides(),
+                blocking_engine=args.blocking_engine,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None, 0.0, False, 2
+        return pipeline, threshold, one_to_one, 0
+
+    if not args.block_on:
+        print("error: provide --block-on (or a --spec file)", file=sys.stderr)
+        return None, 0.0, False, 2
+    config = ZeroERConfig(
+        kappa=args.kappa if args.kappa is not None else 0.15,
+        transitivity=not args.no_transitivity,
+    )
     pipeline = ERPipeline(
         blocking_attribute=args.block_on,
         config=config,
-        blocking_engine=args.blocking_engine,
+        blocking_engine=(
+            args.blocking_engine if args.blocking_engine is not None else "sparse"
+        ),
     )
-    pipeline.run(left, right)
-    return pipeline
+    threshold = args.threshold if args.threshold is not None else 0.5
+    return pipeline, threshold, one_to_one, 0
 
 
 def _blocking_report(pairs, left, right) -> str:
@@ -142,25 +267,21 @@ def _blocking_report(pairs, left, right) -> str:
 
 
 def _cmd_run(args) -> int:
+    pipeline, threshold, one_to_one, code = _build_pipeline(args)
+    if code:
+        return code
     left, right, code = _load_tables(args)
     if code:
         return code
-    pipeline = _fit_pipeline(args, left, right)
-    result = pipeline.result_
+    if args.spec:
+        code = _check_blocking_attributes(pipeline, left)
+        if code:
+            return code
+    result = pipeline.run(left, right)
 
-    score_of = {tuple(p): float(s) for p, s in zip(result.pairs, result.scores)}
-    if args.one_to_one and right is not None:
-        matches = greedy_one_to_one(result.pairs, result.scores, args.threshold)
-    else:
-        matches = score_threshold_matches(result.pairs, result.scores, args.threshold)
-    rows = [(a, b, score_of[(a, b)]) for a, b in matches]
-
-    out_path = Path(args.output)
-    with out_path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["left_id", "right_id", "score"])
-        for a, b, score in rows:
-            writer.writerow([a, b, f"{score:.6f}"])
+    use_one_to_one = one_to_one and right is not None
+    rows = result.to_frame(threshold=threshold, one_to_one=use_one_to_one)
+    out_path = result.to_csv(Path(args.output), frame=rows)
     print(_blocking_report(result.pairs, left, right))
     print(
         f"{len(result.pairs)} candidate pairs scored, {len(rows)} matches written to {out_path}"
@@ -169,9 +290,16 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_fit(args) -> int:
+    pipeline, threshold, _one_to_one, code = _build_pipeline(args)
+    if code:
+        return code
     left, right, code = _load_tables(args)
     if code:
         return code
+    if args.spec:
+        code = _check_blocking_attributes(pipeline, left)
+        if code:
+            return code
     if right is not None:
         # fail before the (expensive) fit: freeze() needs disjoint ids
         shared = set(left.ids()) & set(right.ids())
@@ -182,9 +310,9 @@ def _cmd_fit(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    pipeline = _fit_pipeline(args, left, right)
+    pipeline.run(left, right)
     try:
-        resolver = pipeline.freeze(threshold=args.threshold)
+        resolver = pipeline.freeze(threshold=threshold)
     except (ValueError, RuntimeError) as exc:
         # e.g. overlapping record ids across the two tables, or a blocking
         # recipe that produced no candidate pairs to fit on
@@ -216,15 +344,10 @@ def _cmd_resolve(args) -> int:
     # Write the assignments before persisting the store: if the output path
     # is bad, the on-disk artifacts are untouched and the batch is retryable.
     if args.output:
-        out_path = Path(args.output)
         try:
-            with out_path.open("w", newline="", encoding="utf-8") as handle:
-                writer = csv.writer(handle)
-                writer.writerow(["record_id", "entity_id"])
-                for rid in result.record_ids:
-                    writer.writerow([rid, result.assignments[rid]])
+            result.to_csv(Path(args.output))
         except OSError as exc:
-            print(f"error: cannot write {out_path}: {exc}", file=sys.stderr)
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
             return 2
     resolver.save(args.artifacts)  # persist the updated store in place
     print(
@@ -233,6 +356,31 @@ def _cmd_resolve(args) -> int:
         f"store now holds {len(resolver.store)} records in "
         f"{resolver.store.n_entities} entities"
     )
+    return 0
+
+
+def _cmd_spec_init(args) -> int:
+    try:
+        blocker = TokenOverlapBlocker(
+            args.block_on, min_overlap=1, top_k=60, engine=args.blocking_engine
+        )
+        spec = PipelineSpec(
+            blocking=BlockingSpec.from_blocker(blocker),
+            model=ModelSpec(
+                config=ZeroERConfig(
+                    kappa=args.kappa, transitivity=not args.no_transitivity
+                )
+            ),
+            output=OutputSpec(threshold=args.threshold),
+        )
+    except (SpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        path = spec.save(args.output)
+        print(f"spec written to {path}")
+    else:
+        print(spec.to_json())
     return 0
 
 

@@ -1,0 +1,46 @@
+"""The public resolution API: pipeline, staged sessions, declarative specs.
+
+Three complementary surfaces over the same engine:
+
+* **one call** — :func:`repro.api.resolve` (also re-exported as
+  ``repro.resolve``): tables in, :class:`ERResult` out;
+* **staged sessions** — ``ERPipeline.session(left, right)`` yields typed,
+  cached intermediate artifacts (:class:`CandidateSet` →
+  :class:`FeatureMatrix` → :class:`MatchSet`), each inspectable and
+  individually re-runnable with overrides;
+* **declarative specs** — :class:`PipelineSpec`, a versioned,
+  JSON-serializable description of a pipeline that builds it
+  (``spec.build()``), travels with frozen incremental artifacts for
+  provenance, and drives the CLI via ``--spec``.
+"""
+
+from repro.api.facade import load_spec, resolve
+from repro.api.pipeline import ERPipeline, ERResult
+from repro.api.session import CandidateSet, FeatureMatrix, MatchSet, ResolutionSession
+from repro.api.spec import (
+    SPEC_VERSION,
+    BlockingSpec,
+    FeatureSpec,
+    ModelSpec,
+    OutputSpec,
+    PipelineSpec,
+    SpecError,
+)
+
+__all__ = [
+    "ERPipeline",
+    "ERResult",
+    "ResolutionSession",
+    "CandidateSet",
+    "FeatureMatrix",
+    "MatchSet",
+    "PipelineSpec",
+    "BlockingSpec",
+    "FeatureSpec",
+    "ModelSpec",
+    "OutputSpec",
+    "SpecError",
+    "SPEC_VERSION",
+    "resolve",
+    "load_spec",
+]

@@ -1,0 +1,68 @@
+"""One-call conveniences over the staged API.
+
+:func:`resolve` is the zero-ceremony entry point — tables in, scored
+matches out — accepting either explicit pipeline options or a declarative
+spec. :func:`load_spec` normalizes every way a spec can arrive (path, dict,
+:class:`~repro.api.spec.PipelineSpec`) into a validated ``PipelineSpec``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.pipeline import ERPipeline, ERResult
+from repro.api.spec import PipelineSpec
+from repro.core.config import ZeroERConfig
+from repro.data.table import Table
+
+__all__ = ["resolve", "load_spec"]
+
+
+def load_spec(source) -> PipelineSpec:
+    """Normalize ``source`` into a validated :class:`PipelineSpec`.
+
+    Accepts a ``PipelineSpec`` (returned as-is), a plain dict (parsed via
+    ``PipelineSpec.from_dict``), or a path to a JSON spec file. Malformed
+    specs raise :class:`~repro.api.spec.SpecError`.
+    """
+    if isinstance(source, PipelineSpec):
+        return source
+    if isinstance(source, dict):
+        return PipelineSpec.from_dict(source)
+    if isinstance(source, (str, Path)):
+        return PipelineSpec.load(source)
+    raise TypeError(
+        f"cannot load a spec from {type(source).__name__}; "
+        "pass a PipelineSpec, a dict, or a path to a JSON file"
+    )
+
+
+def resolve(
+    left: Table,
+    right: Table | None = None,
+    *,
+    spec=None,
+    blocking_attribute: str | None = None,
+    config: ZeroERConfig | None = None,
+    **pipeline_options,
+) -> ERResult:
+    """Resolve entities between two tables (or within one) in a single call.
+
+    Either pass ``spec`` (a :class:`PipelineSpec`, dict, or JSON file path)
+    or explicit pipeline options (``blocking_attribute``, ``config``, and
+    any other :class:`~repro.api.pipeline.ERPipeline` keyword) — not both.
+
+    >>> result = repro.resolve(left, right, blocking_attribute="name")
+    >>> result = repro.resolve(left, right, spec="spec.json")
+    """
+    if spec is not None:
+        if blocking_attribute is not None or config is not None or pipeline_options:
+            raise ValueError(
+                "pass either a spec or explicit pipeline options, not both"
+            )
+        pipeline = load_spec(spec).build()
+    else:
+        pipeline = ERPipeline(
+            blocking_attribute=blocking_attribute, config=config, **pipeline_options
+        )
+    return pipeline.run(left, right)

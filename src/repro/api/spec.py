@@ -1,0 +1,349 @@
+"""Versioned, serializable pipeline specifications.
+
+A :class:`PipelineSpec` is a declarative description of an
+:class:`~repro.api.pipeline.ERPipeline`: a dataclass tree with one sub-spec
+per concern (blocking / features / model / output) that round-trips through
+plain dicts and JSON::
+
+    spec = PipelineSpec(blocking=BlockingSpec("token_overlap",
+                                              {"attribute": "name", "top_k": 60}))
+    spec.save("spec.json")
+    pipeline = PipelineSpec.load("spec.json").build()
+
+Validation is eager and loud: unknown keys, unknown types, and out-of-range
+values all raise :class:`SpecError` at parse time, not at run time. A spec
+built from the same parameters as a code-built pipeline produces a pipeline
+with identical behavior (same candidate pairs, same scores).
+
+Specs are also the provenance format: :meth:`ERPipeline.freeze` embeds the
+capturing spec into frozen incremental artifacts, and the CLI accepts
+``--spec spec.json`` (see ``python -m repro spec init``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.pipeline import ERPipeline
+from repro.blocking.base import Blocker, build_blocker
+from repro.core.config import ZeroERConfig
+from repro.features.generator import validate_feature_engine
+from repro.features.types import AttributeType
+
+__all__ = [
+    "SPEC_VERSION",
+    "SpecError",
+    "BlockingSpec",
+    "FeatureSpec",
+    "ModelSpec",
+    "OutputSpec",
+    "PipelineSpec",
+]
+
+#: Bump when the spec schema changes incompatibly.
+SPEC_VERSION = 1
+
+
+class SpecError(ValueError):
+    """Raised when a pipeline spec is malformed: unknown keys or types,
+    out-of-range values, or a version this build cannot read."""
+
+
+def _require_keys(data: dict, known: tuple, context: str) -> None:
+    if not isinstance(data, dict):
+        raise SpecError(f"{context} spec must be a dict, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise SpecError(f"unknown key(s) {unknown} in {context} spec")
+
+
+@dataclass(frozen=True)
+class BlockingSpec:
+    """Declarative blocker: a registered ``type`` plus its constructor options.
+
+    ``type`` is one of :func:`repro.blocking.blocker_types` (e.g.
+    ``"token_overlap"``); ``options`` holds that blocker's parameters as a
+    JSON-serializable dict. Validation builds the blocker once eagerly, so a
+    bad option fails at construction time.
+    """
+
+    type: str
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        try:
+            self.build()
+        except SpecError:
+            raise
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SpecError(f"invalid blocking spec: {exc}") from exc
+
+    def build(self) -> Blocker:
+        """Construct the described blocker."""
+        return build_blocker({"type": self.type, **self.options})
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, **self.options}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockingSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"blocking spec must be a dict, got {type(data).__name__}")
+        if "type" not in data:
+            raise SpecError("blocking spec is missing the 'type' key")
+        options = {key: value for key, value in data.items() if key != "type"}
+        return cls(type=data["type"], options=options)
+
+    @classmethod
+    def from_blocker(cls, blocker: Blocker) -> "BlockingSpec":
+        """Capture an existing blocker instance declaratively.
+
+        Raises :class:`SpecError` for blockers that cannot be serialized
+        (custom classes, callable-configured blockers, custom tokenizers).
+        """
+        try:
+            return cls.from_dict(blocker.to_spec())
+        except TypeError as exc:
+            raise SpecError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Declarative featurization: engine choice plus attribute-type pins."""
+
+    #: ``"batch"`` (columnar kernels) or ``"per-pair"`` (reference loop).
+    engine: str = "batch"
+    #: ``{attribute: AttributeType value string}`` type-inference overrides.
+    type_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        try:
+            validate_feature_engine(self.engine)
+        except ValueError as exc:
+            raise SpecError(f"feature {exc}") from exc
+        if not isinstance(self.type_overrides, dict):
+            raise SpecError("type_overrides must be a dict of attribute -> type name")
+        for attribute, type_name in self.type_overrides.items():
+            try:
+                AttributeType(type_name)
+            except ValueError:
+                valid = [t.value for t in AttributeType]
+                raise SpecError(
+                    f"unknown attribute type {type_name!r} for {attribute!r}; "
+                    f"valid types: {valid}"
+                ) from None
+
+    def build_overrides(self) -> dict | None:
+        """The overrides as ``{attribute: AttributeType}`` (``None`` if empty)."""
+        if not self.type_overrides:
+            return None
+        return {a: AttributeType(v) for a, v in self.type_overrides.items()}
+
+    def to_dict(self) -> dict:
+        return {"engine": self.engine, "type_overrides": dict(self.type_overrides)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeatureSpec":
+        _require_keys(data, ("engine", "type_overrides"), "features")
+        overrides = data.get("type_overrides") or {}
+        if not isinstance(overrides, dict):
+            raise SpecError(
+                "type_overrides must be a dict of attribute -> type name, "
+                f"got {type(overrides).__name__}"
+            )
+        return cls(
+            engine=data.get("engine", "batch"),
+            type_overrides=dict(overrides),
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Declarative matcher: the ZeroER config plus pipeline-level model knobs."""
+
+    config: ZeroERConfig = field(default_factory=ZeroERConfig)
+    #: Per-anchor cap for the linkage transitivity co-candidate sets.
+    co_candidate_cap: int = 10
+
+    def __post_init__(self):
+        if not isinstance(self.config, ZeroERConfig):
+            raise SpecError(
+                f"config must be a ZeroERConfig, got {type(self.config).__name__}"
+            )
+        if not isinstance(self.co_candidate_cap, int) or self.co_candidate_cap < 1:
+            raise SpecError(
+                f"co_candidate_cap must be an int >= 1, got {self.co_candidate_cap!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"config": self.config.to_dict(), "co_candidate_cap": self.co_candidate_cap}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelSpec":
+        _require_keys(data, ("config", "co_candidate_cap"), "model")
+        try:
+            config = ZeroERConfig.from_dict(data.get("config") or {})
+        except (ValueError, TypeError) as exc:
+            raise SpecError(f"invalid model config: {exc}") from exc
+        return cls(config=config, co_candidate_cap=data.get("co_candidate_cap", 10))
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Declarative output handling: match threshold and assignment shape."""
+
+    #: Match-probability threshold (pairs strictly above it are matches).
+    threshold: float = 0.5
+    #: Post-process into a greedy one-to-one assignment (linkage mode).
+    one_to_one: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.threshold, (int, float)) or isinstance(self.threshold, bool):
+            raise SpecError(f"threshold must be a number, got {self.threshold!r}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise SpecError(f"threshold must be in [0, 1], got {self.threshold}")
+        if not isinstance(self.one_to_one, bool):
+            raise SpecError(f"one_to_one must be a bool, got {self.one_to_one!r}")
+
+    def to_dict(self) -> dict:
+        return {"threshold": self.threshold, "one_to_one": self.one_to_one}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OutputSpec":
+        _require_keys(data, ("threshold", "one_to_one"), "output")
+        return cls(
+            threshold=data.get("threshold", 0.5),
+            one_to_one=data.get("one_to_one", False),
+        )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """The full declarative pipeline: blocking + features + model + output."""
+
+    blocking: BlockingSpec
+    features: FeatureSpec = field(default_factory=FeatureSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    output: OutputSpec = field(default_factory=OutputSpec)
+    version: int = SPEC_VERSION
+
+    def __post_init__(self):
+        if self.version != SPEC_VERSION:
+            raise SpecError(
+                f"spec version {self.version!r} is not supported "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        for name, expected in (
+            ("blocking", BlockingSpec),
+            ("features", FeatureSpec),
+            ("model", ModelSpec),
+            ("output", OutputSpec),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, expected):
+                raise SpecError(
+                    f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+                )
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self) -> ERPipeline:
+        """Construct the described :class:`~repro.api.pipeline.ERPipeline`."""
+        return ERPipeline(
+            blocker=self.blocking.build(),
+            config=self.model.config,
+            co_candidate_cap=self.model.co_candidate_cap,
+            feature_engine=self.features.engine,
+            type_overrides=self.features.build_overrides(),
+        )
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        pipeline: ERPipeline,
+        threshold: float | None = None,
+        one_to_one: bool = False,
+    ) -> "PipelineSpec":
+        """Capture an existing pipeline declaratively (for provenance).
+
+        Raises :class:`SpecError` when the pipeline cannot be described
+        (custom blocker class, non-serializable tokenizer, ...). ``threshold``
+        and ``one_to_one`` fill the output sub-spec, which the pipeline
+        object itself does not carry.
+        """
+        overrides = pipeline.type_overrides or {}
+        return cls(
+            blocking=BlockingSpec.from_blocker(pipeline.blocker),
+            features=FeatureSpec(
+                engine=pipeline.feature_engine,
+                type_overrides={a: t.value for a, t in overrides.items()},
+            ),
+            model=ModelSpec(
+                config=pipeline.config, co_candidate_cap=pipeline.co_candidate_cap
+            ),
+            output=OutputSpec(
+                threshold=0.5 if threshold is None else threshold, one_to_one=one_to_one
+            ),
+        )
+
+    def replace(self, **changes) -> "PipelineSpec":
+        """A copy with the given sub-specs replaced."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "blocking": self.blocking.to_dict(),
+            "features": self.features.to_dict(),
+            "model": self.model.to_dict(),
+            "output": self.output.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineSpec":
+        _require_keys(
+            data, ("version", "blocking", "features", "model", "output"), "pipeline"
+        )
+        if "blocking" not in data:
+            raise SpecError("pipeline spec is missing the 'blocking' section")
+        version = data.get("version", SPEC_VERSION)
+        if not isinstance(version, int):
+            raise SpecError(f"version must be an int, got {version!r}")
+        return cls(
+            blocking=BlockingSpec.from_dict(data["blocking"]),
+            features=FeatureSpec.from_dict(data.get("features") or {}),
+            model=ModelSpec.from_dict(data.get("model") or {}),
+            output=OutputSpec.from_dict(data.get("output") or {}),
+            version=version,
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The spec as a JSON document (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec as JSON to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineSpec":
+        """Read a spec saved with :meth:`save` (or hand-written JSON)."""
+        path = Path(path)
+        if not path.is_file():
+            raise SpecError(f"spec file not found: {path}")
+        return cls.from_json(path.read_text(encoding="utf-8"))

@@ -8,7 +8,14 @@ overlap with document-frequency pruning and per-record top-k capping,
 sorted neighborhood, and union composition.
 """
 
-from repro.blocking.base import Blocker, as_pair_set, candidate_recall, candidate_statistics
+from repro.blocking.base import (
+    Blocker,
+    as_pair_set,
+    blocker_types,
+    build_blocker,
+    candidate_recall,
+    candidate_statistics,
+)
 from repro.blocking.attr_equivalence import AttributeEquivalenceBlocker
 from repro.blocking.batch import TokenEncoding, sparse_overlap_pairs, sparse_overlap_select
 from repro.blocking.overlap import (
@@ -31,6 +38,8 @@ __all__ = [
     "UnionBlocker",
     "BLOCKING_ENGINES",
     "as_pair_set",
+    "blocker_types",
+    "build_blocker",
     "candidate_recall",
     "candidate_statistics",
     "rank_overlap_candidates",

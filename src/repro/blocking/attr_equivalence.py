@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Callable
 
-from repro.blocking.base import Blocker
+from repro.blocking.base import Blocker, check_spec_keys
 from repro.data.table import Table
 
 __all__ = ["AttributeEquivalenceBlocker"]
@@ -26,9 +26,27 @@ class AttributeEquivalenceBlocker(Blocker):
         ``lambda v: str(v).lower()[:3]`` for a prefix block.
     """
 
+    spec_type = "attr_equivalence"
+
     def __init__(self, attribute: str, transform: Callable | None = None):
         self.attribute = attribute
         self.transform = transform
+
+    def to_spec(self) -> dict:
+        """Declarative form; a ``transform`` callable cannot be serialized."""
+        if self.transform is not None:
+            raise TypeError(
+                "cannot serialize an AttributeEquivalenceBlocker with a custom "
+                "transform callable"
+            )
+        return {"type": self.spec_type, "attribute": self.attribute}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "AttributeEquivalenceBlocker":
+        check_spec_keys(spec, ("attribute",), context="attr_equivalence blocker")
+        if "attribute" not in spec:
+            raise ValueError("attr_equivalence blocker spec needs an 'attribute'")
+        return cls(spec["attribute"])
 
     def _key(self, record: dict):
         value = record.get(self.attribute)

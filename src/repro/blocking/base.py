@@ -6,7 +6,15 @@ from collections.abc import Iterable, Sequence
 
 from repro.data.table import Table
 
-__all__ = ["Blocker", "as_pair_set", "candidate_recall", "candidate_statistics"]
+__all__ = [
+    "Blocker",
+    "as_pair_set",
+    "blocker_types",
+    "build_blocker",
+    "candidate_recall",
+    "candidate_statistics",
+    "check_spec_keys",
+]
 
 
 class Blocker:
@@ -20,10 +28,45 @@ class Blocker:
       the earlier row first, each unordered pair emitted once.
 
     Pairs are returned as a list in deterministic order with no duplicates.
+
+    Blockers whose configuration is fully captured by plain parameters also
+    implement the declarative-spec contract: a class-level ``spec_type``
+    string (which registers the class for :func:`build_blocker`), a
+    :meth:`to_spec` returning a JSON-serializable dict with a ``"type"``
+    key, and a :meth:`from_spec` classmethod inverting it.
     """
+
+    #: Spec registry name; ``None`` means the blocker has no declarative form.
+    spec_type: str | None = None
+    _spec_registry: dict[str, type] = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # register only a spec_type the subclass declares itself, so e.g. a
+        # TokenOverlapBlocker subclass does not silently take over "token_overlap"
+        declared = cls.__dict__.get("spec_type")
+        if declared is not None:
+            Blocker._spec_registry[declared] = cls
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
         raise NotImplementedError
+
+    def to_spec(self) -> dict:
+        """JSON-serializable description of this blocker (``{"type": ..., ...}``).
+
+        Raises ``TypeError`` for blockers that cannot be captured
+        declaratively (no registered ``spec_type``, or configured with a
+        non-serializable callable).
+        """
+        raise TypeError(
+            f"{type(self).__name__} does not support declarative specs "
+            "(no spec_type registered)"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Blocker":
+        """Rebuild a blocker from :meth:`to_spec` output."""
+        raise TypeError(f"{cls.__name__} does not support declarative specs")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -32,6 +75,33 @@ class Blocker:
     def _dedup_order(left: Table) -> dict:
         """Map record id -> row position, for canonical within-table pair order."""
         return {rid: pos for pos, rid in enumerate(left.ids())}
+
+
+def blocker_types() -> tuple[str, ...]:
+    """Registered declarative blocker type names, sorted."""
+    return tuple(sorted(Blocker._spec_registry))
+
+
+def build_blocker(spec: dict) -> Blocker:
+    """Build a blocker from a :meth:`Blocker.to_spec` dict (type-dispatched)."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"blocker spec must be a dict, got {type(spec).__name__}")
+    if "type" not in spec:
+        raise ValueError("blocker spec is missing the 'type' key")
+    kind = spec["type"]
+    cls = Blocker._spec_registry.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown blocker type {kind!r}; known types: {list(blocker_types())}"
+        )
+    return cls.from_spec(spec)
+
+
+def check_spec_keys(spec: dict, known: Iterable[str], *, context: str) -> None:
+    """Reject unknown keys in a spec dict (``"type"`` is always allowed)."""
+    unknown = sorted(set(spec) - set(known) - {"type"})
+    if unknown:
+        raise ValueError(f"unknown key(s) {unknown} in {context} spec")
 
 
 def as_pair_set(pairs: Iterable[tuple]) -> frozenset | set:

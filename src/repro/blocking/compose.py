@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.blocking.base import Blocker
+from repro.blocking.base import Blocker, build_blocker, check_spec_keys
 from repro.data.table import Table
 
 __all__ = ["UnionBlocker"]
@@ -17,6 +17,8 @@ class UnionBlocker(Blocker):
     member blockers.
     """
 
+    spec_type = "union"
+
     def __init__(self, blockers: Sequence[Blocker]):
         if not blockers:
             raise ValueError("UnionBlocker needs at least one member blocker")
@@ -24,6 +26,21 @@ class UnionBlocker(Blocker):
             if not isinstance(b, Blocker):
                 raise TypeError(f"expected Blocker, got {type(b).__name__}")
         self.blockers = list(blockers)
+
+    def to_spec(self) -> dict:
+        """Declarative form: member blocker specs in order."""
+        return {
+            "type": self.spec_type,
+            "blockers": [blocker.to_spec() for blocker in self.blockers],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "UnionBlocker":
+        check_spec_keys(spec, ("blockers",), context="union blocker")
+        members = spec.get("blockers")
+        if not isinstance(members, list) or not members:
+            raise ValueError("union blocker spec needs a non-empty 'blockers' list")
+        return cls([build_blocker(member) for member in members])
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
         seen: set[tuple] = set()

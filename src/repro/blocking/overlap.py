@@ -15,9 +15,14 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
-from repro.blocking.base import Blocker
+from repro.blocking.base import Blocker, check_spec_keys
 from repro.data.table import Table
-from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
+from repro.text.tokenizers import (
+    Tokenizer,
+    WhitespaceTokenizer,
+    tokenizer_from_spec,
+    tokenizer_spec,
+)
 
 __all__ = [
     "TokenOverlapBlocker",
@@ -102,6 +107,8 @@ class TokenOverlapBlocker(Blocker):
         Counter loop. Both produce bit-identical pair lists.
     """
 
+    spec_type = "token_overlap"
+
     def __init__(
         self,
         attribute: str,
@@ -122,6 +129,39 @@ class TokenOverlapBlocker(Blocker):
 
     def _tokens(self, record: dict) -> set[str]:
         return record_tokens(self.tokenizer, record, self.attribute)
+
+    def to_spec(self) -> dict:
+        """Declarative form; raises ``TypeError`` for custom tokenizer types."""
+        return {
+            "type": self.spec_type,
+            "attribute": self.attribute,
+            "tokenizer": tokenizer_spec(self.tokenizer),
+            "min_overlap": self.min_overlap,
+            "max_df": self.max_df,
+            "top_k": self.top_k,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TokenOverlapBlocker":
+        check_spec_keys(
+            spec,
+            ("attribute", "tokenizer", "min_overlap", "max_df", "top_k", "engine"),
+            context="token_overlap blocker",
+        )
+        if "attribute" not in spec:
+            raise ValueError("token_overlap blocker spec needs an 'attribute'")
+        tokenizer = (
+            tokenizer_from_spec(spec["tokenizer"]) if spec.get("tokenizer") is not None else None
+        )
+        return cls(
+            spec["attribute"],
+            tokenizer=tokenizer,
+            min_overlap=spec.get("min_overlap", 1),
+            max_df=spec.get("max_df", 0.2),
+            top_k=spec.get("top_k"),
+            engine=spec.get("engine", "sparse"),
+        )
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
         if self.engine == "sparse":

@@ -7,6 +7,7 @@ of larger postings. Implemented as a thin specialization of
 
 from __future__ import annotations
 
+from repro.blocking.base import check_spec_keys
 from repro.blocking.overlap import TokenOverlapBlocker
 from repro.text.tokenizers import QgramTokenizer
 
@@ -15,6 +16,8 @@ __all__ = ["QgramBlocker"]
 
 class QgramBlocker(TokenOverlapBlocker):
     """Pair records sharing at least ``min_overlap`` character q-grams."""
+
+    spec_type = "qgram"
 
     def __init__(
         self,
@@ -34,6 +37,36 @@ class QgramBlocker(TokenOverlapBlocker):
             engine=engine,
         )
         self.q = q
+
+    def to_spec(self) -> dict:
+        """Declarative form (the q-gram tokenizer is implied by ``q``)."""
+        return {
+            "type": self.spec_type,
+            "attribute": self.attribute,
+            "q": self.q,
+            "min_overlap": self.min_overlap,
+            "max_df": self.max_df,
+            "top_k": self.top_k,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "QgramBlocker":
+        check_spec_keys(
+            spec,
+            ("attribute", "q", "min_overlap", "max_df", "top_k", "engine"),
+            context="qgram blocker",
+        )
+        if "attribute" not in spec:
+            raise ValueError("qgram blocker spec needs an 'attribute'")
+        return cls(
+            spec["attribute"],
+            q=spec.get("q", 3),
+            min_overlap=spec.get("min_overlap", 2),
+            max_df=spec.get("max_df", 0.2),
+            top_k=spec.get("top_k"),
+            engine=spec.get("engine", "sparse"),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QgramBlocker({self.attribute!r}, q={self.q}, min_overlap={self.min_overlap})"

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.blocking.base import Blocker
+from repro.blocking.base import Blocker, check_spec_keys
 from repro.data.table import Table
 
 __all__ = ["SortedNeighborhoodBlocker"]
@@ -30,12 +30,30 @@ class SortedNeighborhoodBlocker(Blocker):
         lowercase string). Records with missing values sort last.
     """
 
+    spec_type = "sorted_neighborhood"
+
     def __init__(self, attribute: str, window: int = 5, key: Callable | None = None):
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
         self.attribute = attribute
         self.window = int(window)
+        self._custom_key = key is not None
         self.key = key if key is not None else (lambda v: str(v).lower())
+
+    def to_spec(self) -> dict:
+        """Declarative form; a custom ``key`` callable cannot be serialized."""
+        if self._custom_key:
+            raise TypeError(
+                "cannot serialize a SortedNeighborhoodBlocker with a custom key callable"
+            )
+        return {"type": self.spec_type, "attribute": self.attribute, "window": self.window}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SortedNeighborhoodBlocker":
+        check_spec_keys(spec, ("attribute", "window"), context="sorted_neighborhood blocker")
+        if "attribute" not in spec:
+            raise ValueError("sorted_neighborhood blocker spec needs an 'attribute'")
+        return cls(spec["attribute"], window=spec.get("window", 5))
 
     def _sort_key(self, record: dict) -> tuple:
         value = record.get(self.attribute)

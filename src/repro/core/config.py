@@ -117,6 +117,27 @@ class ZeroERConfig:
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """All fields as a JSON-serializable dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ZeroERConfig":
+        """Build a config from a (possibly partial) field dict.
+
+        Missing fields take their defaults; unknown keys raise ``ValueError``
+        so a typo in a spec file fails loudly instead of silently running
+        with defaults. Field values go through the usual ``__post_init__``
+        validation.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"config must be a dict, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown key(s) {unknown} in ZeroERConfig spec")
+        return cls(**data)
+
 
 def ablation_variants(kappa_partial: float = 0.6, kappa_full: float = 0.15) -> dict[str, ZeroERConfig]:
     """The eleven model variants of Table 4, keyed by the paper's column names.

@@ -12,7 +12,22 @@ from pathlib import Path
 
 from repro.data.table import Table
 
-__all__ = ["write_csv", "read_csv"]
+__all__ = ["write_csv", "read_csv", "write_rows_csv"]
+
+
+def write_rows_csv(path: str | Path, header: tuple | list, rows) -> Path:
+    """Write a header row plus ``rows`` (iterables of cells) to ``path``.
+
+    The shared CSV-export primitive behind :meth:`ERResult.to_csv` and
+    :meth:`ResolveResult.to_csv` (and therefore both CLI output paths).
+    """
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
 
 
 def write_csv(table: Table, path: str | Path) -> None:

@@ -63,9 +63,22 @@ from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
 __all__ = [
     "PairFeature",
     "FeatureGenerator",
+    "FEATURE_ENGINES",
+    "validate_feature_engine",
     "configure_jw_cache",
     "clear_feature_caches",
 ]
+
+#: Available featurization engines: ``"batch"`` (columnar kernels, the
+#: default) and ``"per-pair"`` (the reference scoring loop).
+FEATURE_ENGINES = ("batch", "per-pair")
+
+
+def validate_feature_engine(engine: str) -> None:
+    """Reject unknown featurization engine names (shared across the API layers)."""
+    if engine not in FEATURE_ENGINES:
+        raise ValueError(f"engine must be one of {FEATURE_ENGINES}, got {engine!r}")
+
 
 _NAN = float("nan")
 
@@ -749,8 +762,7 @@ class FeatureGenerator:
         triggers it).
         """
         self._check_fitted()
-        if engine not in ("batch", "per-pair"):
-            raise ValueError(f"engine must be 'batch' or 'per-pair', got {engine!r}")
+        validate_feature_engine(engine)
         n, d = len(pairs), len(self.features_)
         X = np.empty((n, d), dtype=np.float64)
         if n == 0 or d == 0:

@@ -18,7 +18,7 @@ records. This package turns a fitted pipeline into an updatable system:
   retrieve candidates, featurize only the new pairs, score with the frozen
   model, merge matches.
 
-The common entry points are :meth:`repro.pipeline.ERPipeline.freeze` and the
+The common entry points are :meth:`repro.api.pipeline.ERPipeline.freeze` and the
 ``python -m repro fit`` / ``python -m repro resolve`` CLI subcommands.
 """
 

@@ -88,6 +88,7 @@ def save_artifacts(
     generator: FeatureGenerator,
     model: ZeroER | ZeroERLinkage,
     extra: dict | None = None,
+    spec: dict | None = None,
 ) -> Path:
     """Write a fitted generator + matcher to an artifact directory.
 
@@ -103,6 +104,10 @@ def save_artifacts(
     extra:
         Optional JSON-serializable payload stored under ``"extra"`` in the
         manifest (e.g. the incremental resolver's store and index state).
+    spec:
+        Optional declarative pipeline description (a
+        ``PipelineSpec.to_dict()`` payload) stored under ``"pipeline_spec"``
+        — provenance for how the frozen model was produced.
     """
     from repro import __version__
 
@@ -116,6 +121,8 @@ def save_artifacts(
         "generator": generator.get_state(),
         "extra": extra if extra is not None else {},
     }
+    if spec is not None:
+        manifest["pipeline_spec"] = spec
     with (path / _MANIFEST).open("w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
     np.savez(path / _ARRAYS, **arrays)

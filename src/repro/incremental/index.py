@@ -27,60 +27,31 @@ from repro.blocking.overlap import (
     validate_overlap_params,
 )
 from repro.data.table import Table
-from repro.text.tokenizers import (
-    AlnumTokenizer,
-    DelimiterTokenizer,
-    QgramTokenizer,
-    Tokenizer,
-    WhitespaceTokenizer,
-)
+from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
+from repro.text.tokenizers import tokenizer_from_spec as _tokenizer_from_spec
+from repro.text.tokenizers import tokenizer_spec as _tokenizer_spec
 
-__all__ = ["IncrementalTokenIndex", "tokenizer_spec", "tokenizer_from_spec"]
+__all__ = ["IncrementalTokenIndex"]
 
-
-def tokenizer_spec(tokenizer: Tokenizer) -> dict:
-    """JSON-serializable description of a standard tokenizer.
-
-    Covers the library's tokenizer families; a custom subclass cannot be
-    persisted declaratively (its behavior is not captured by the parameters)
-    and raises ``TypeError`` — exact types only.
-    """
-    kind = type(tokenizer)
-    if kind is QgramTokenizer:
-        return {
-            "type": "qgram",
-            "q": tokenizer.q,
-            "padded": tokenizer.padded,
-            "lowercase": tokenizer.lowercase,
-        }
-    if kind is DelimiterTokenizer:
-        return {
-            "type": "delimiter",
-            "delimiter": tokenizer.delimiter,
-            "lowercase": tokenizer.lowercase,
-            "strip": tokenizer.strip,
-        }
-    if kind is AlnumTokenizer:
-        return {"type": "alnum", "lowercase": tokenizer.lowercase}
-    if kind is WhitespaceTokenizer:
-        return {"type": "whitespace", "lowercase": tokenizer.lowercase}
-    raise TypeError(f"cannot serialize tokenizer of type {kind.__name__}")
+#: Import paths kept alive with a DeprecationWarning; the canonical home of
+#: the tokenizer spec helpers is :mod:`repro.text.tokenizers`.
+_MOVED_TO_TEXT = ("tokenizer_spec", "tokenizer_from_spec")
 
 
-def tokenizer_from_spec(spec: dict) -> Tokenizer:
-    """Rebuild a tokenizer from :func:`tokenizer_spec` output."""
-    kind = spec["type"]
-    if kind == "qgram":
-        return QgramTokenizer(spec["q"], padded=spec["padded"], lowercase=spec["lowercase"])
-    if kind == "delimiter":
-        return DelimiterTokenizer(
-            spec["delimiter"], lowercase=spec["lowercase"], strip=spec["strip"]
+def __getattr__(name: str):
+    if name in _MOVED_TO_TEXT:
+        import warnings
+
+        warnings.warn(
+            f"repro.incremental.index.{name} moved to repro.text.tokenizers; "
+            "update the import — this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if kind == "alnum":
-        return AlnumTokenizer(lowercase=spec["lowercase"])
-    if kind == "whitespace":
-        return WhitespaceTokenizer(lowercase=spec["lowercase"])
-    raise ValueError(f"unknown tokenizer spec type {kind!r}")
+        from repro.text import tokenizers
+
+        return getattr(tokenizers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class IncrementalTokenIndex:
@@ -252,7 +223,7 @@ class IncrementalTokenIndex:
         """JSON-serializable retrieval parameters (for artifact manifests)."""
         return {
             "attribute": self.attribute,
-            "tokenizer": tokenizer_spec(self.tokenizer),
+            "tokenizer": _tokenizer_spec(self.tokenizer),
             "min_overlap": self.min_overlap,
             "max_df": self.max_df,
             "top_k": self.top_k,
@@ -264,7 +235,7 @@ class IncrementalTokenIndex:
         """An empty index configured from :meth:`params` output."""
         return cls(
             params["attribute"],
-            tokenizer=tokenizer_from_spec(params["tokenizer"]),
+            tokenizer=_tokenizer_from_spec(params["tokenizer"]),
             min_overlap=params["min_overlap"],
             max_df=params["max_df"],
             top_k=params["top_k"],

@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.core.linkage import ZeroERLinkage
 from repro.core.model import ZeroER
-from repro.features.generator import FeatureGenerator, clear_feature_caches
+from repro.data.io import write_rows_csv
+from repro.features.generator import (
+    FeatureGenerator,
+    clear_feature_caches,
+    validate_feature_engine,
+)
 from repro.incremental.artifacts import load_artifacts, save_artifacts
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import EntityStore
@@ -58,6 +63,18 @@ class ResolveResult:
     def __post_init__(self):
         self.scores = np.asarray(self.scores, dtype=np.float64)
 
+    def to_frame(self) -> list[dict]:
+        """The batch's assignments as ``{"record_id", "entity_id"}`` row dicts."""
+        return [
+            {"record_id": rid, "entity_id": self.assignments[rid]}
+            for rid in self.record_ids
+        ]
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the record → entity assignments to ``path``."""
+        rows = ((row["record_id"], row["entity_id"]) for row in self.to_frame())
+        return write_rows_csv(path, ("record_id", "entity_id"), rows)
+
 
 class IncrementalResolver:
     """Resolve arriving records against a frozen model and a live store.
@@ -82,6 +99,10 @@ class IncrementalResolver:
         (``"batch"`` by default — small arriving batches go through the
         same columnar kernels as the bulk pipeline; ``"per-pair"`` forces
         the reference path, used by the parity tests).
+    spec:
+        Optional :class:`~repro.api.spec.PipelineSpec` describing the
+        pipeline that produced the frozen model — provenance carried into
+        saved artifacts (``ERPipeline.freeze`` fills it automatically).
     """
 
     def __init__(
@@ -92,11 +113,11 @@ class IncrementalResolver:
         store: EntityStore,
         threshold: float = 0.5,
         engine: str = "batch",
+        spec=None,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        if engine not in ("batch", "per-pair"):
-            raise ValueError(f"engine must be 'batch' or 'per-pair', got {engine!r}")
+        validate_feature_engine(engine)
         if len(index) != len(store):
             raise ValueError(
                 f"index covers {len(index)} records but the store holds {len(store)}"
@@ -107,6 +128,7 @@ class IncrementalResolver:
         self.store = store
         self.threshold = float(threshold)
         self.engine = engine
+        self.spec = spec
 
     # -- resolution --------------------------------------------------------------
 
@@ -196,7 +218,13 @@ class IncrementalResolver:
                 "store": self.store.to_state(),
             }
         }
-        return save_artifacts(path, self.generator, self.model, extra=extra)
+        return save_artifacts(
+            path,
+            self.generator,
+            self.model,
+            extra=extra,
+            spec=self.spec.to_dict() if self.spec is not None else None,
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "IncrementalResolver":
@@ -206,6 +234,26 @@ class IncrementalResolver:
         store = EntityStore.from_state(payload["store"])
         index = IncrementalTokenIndex.from_params(payload["index"])
         index.add(store.records())
+        spec_payload = manifest.get("pipeline_spec")
+        spec = None
+        if spec_payload is not None:
+            # deferred import: the api layer imports repro.incremental lazily
+            # and vice versa, so neither package costs the other at import time
+            from repro.api.spec import PipelineSpec, SpecError
+
+            try:
+                spec = PipelineSpec.from_dict(spec_payload)
+            except SpecError as exc:
+                # the spec is provenance metadata only: an unreadable one
+                # (e.g. written by a newer spec version) must not make an
+                # otherwise-valid artifact unloadable
+                import warnings
+
+                warnings.warn(
+                    f"ignoring unreadable pipeline_spec in artifacts: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return cls(
             generator,
             model,
@@ -214,4 +262,5 @@ class IncrementalResolver:
             threshold=payload["threshold"],
             # artifacts written before the engine knob existed default to batch
             engine=payload.get("engine", "batch"),
+            spec=spec,
         )

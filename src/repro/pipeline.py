@@ -1,245 +1,34 @@
-"""High-level end-to-end pipeline.
+"""Deprecated import path: the pipeline now lives in :mod:`repro.api`.
 
-:class:`ERPipeline` wires blocking, automatic feature generation, and the
-ZeroER matcher into one object for the common case: two tables in,
-scored/labeled pairs out. Record-linkage transitivity (the F/Fl/Fr coupling
-of §5) is handled automatically when enabled: within-table candidate sets
-are derived from cross-candidate co-occurrence, exactly as the benchmark
-harness does.
+``from repro.pipeline import ERPipeline`` keeps working but emits a
+``DeprecationWarning``; import from :mod:`repro` (or :mod:`repro.api`)
+instead::
 
-For research workflows that need to intercept intermediate artifacts, use
-the pieces directly (see ``examples/custom_data.py``); the pipeline is the
-convenience path.
+    from repro import ERPipeline, ERResult
 """
 
 from __future__ import annotations
 
-import copy
-import time
-from dataclasses import dataclass, field
+import warnings
 
-import numpy as np
+_MOVED_TO_API = ("ERPipeline", "ERResult")
 
-from repro.blocking.base import Blocker
-from repro.blocking.overlap import TokenOverlapBlocker, validate_blocking_engine
-from repro.core.config import ZeroERConfig
-from repro.core.linkage import ZeroERLinkage
-from repro.core.model import ZeroER
-from repro.data.table import Table
-from repro.eval.harness import co_candidate_pairs
-from repro.features.generator import FeatureGenerator
-
-__all__ = ["ERPipeline", "ERResult"]
+__all__ = list(_MOVED_TO_API)
 
 
-@dataclass
-class ERResult:
-    """Everything a pipeline run produces."""
-
-    pairs: list[tuple]
-    scores: np.ndarray
-    labels: np.ndarray
-    feature_names: list[str]
-    seconds: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def matches(self) -> list[tuple]:
-        """The predicted matching pairs."""
-        return [pair for pair, label in zip(self.pairs, self.labels) if label == 1]
-
-    def top_matches(self, k: int = 10) -> list[tuple]:
-        """The ``k`` most confident predicted matches with their scores."""
-        order = np.argsort(-self.scores)
-        out = []
-        for i in order:
-            if self.labels[int(i)] == 1:
-                out.append((self.pairs[int(i)], float(self.scores[int(i)])))
-            if len(out) >= k:
-                break
-        return out
-
-
-class ERPipeline:
-    """Block → featurize → match, in one call.
-
-    Parameters
-    ----------
-    blocker:
-        Any :class:`~repro.blocking.base.Blocker`; defaults to token overlap
-        on ``blocking_attribute``.
-    blocking_attribute:
-        Attribute for the default blocker (required when ``blocker`` is not
-        given).
-    config:
-        ZeroER hyperparameters (paper defaults when omitted).
-    co_candidate_cap:
-        Per-anchor cap when deriving within-table candidate sets for the
-        linkage transitivity coupling.
-    feature_engine:
-        Featurization engine forwarded to
-        :meth:`~repro.features.generator.FeatureGenerator.transform`:
-        ``"batch"`` (default, columnar kernels) or ``"per-pair"`` (the
-        reference scoring loop).
-    blocking_engine:
-        Blocking engine for token-overlap blockers: ``"sparse"`` (columnar
-        CSR kernel) or ``"per-record"`` (the reference loop). ``None``
-        (default) keeps the blocker's own setting — ``"sparse"`` for the
-        default blocker. Setting it alongside a non-token-overlap
-        ``blocker`` raises ``ValueError``.
-    """
-
-    def __init__(
-        self,
-        blocker: Blocker | None = None,
-        blocking_attribute: str | None = None,
-        config: ZeroERConfig | None = None,
-        co_candidate_cap: int = 10,
-        feature_engine: str = "batch",
-        blocking_engine: str | None = None,
-    ):
-        if blocker is None:
-            if blocking_attribute is None:
-                raise ValueError("provide either a blocker or a blocking_attribute")
-            blocker = TokenOverlapBlocker(
-                blocking_attribute,
-                min_overlap=1,
-                top_k=60,
-                engine=blocking_engine if blocking_engine is not None else "sparse",
-            )
-        elif blocking_engine is not None:
-            validate_blocking_engine(blocking_engine)
-            if not isinstance(blocker, TokenOverlapBlocker):
-                raise ValueError(
-                    "blocking_engine applies to TokenOverlapBlocker (and subclasses); "
-                    f"got {type(blocker).__name__}"
-                )
-            if blocker.engine != blocking_engine:
-                # leave the caller's blocker untouched
-                blocker = copy.copy(blocker)
-                blocker.engine = blocking_engine
-        if feature_engine not in ("batch", "per-pair"):
-            raise ValueError(
-                f"feature_engine must be 'batch' or 'per-pair', got {feature_engine!r}"
-            )
-        self.blocker = blocker
-        self.config = config if config is not None else ZeroERConfig()
-        self.co_candidate_cap = int(co_candidate_cap)
-        self.feature_engine = feature_engine
-        self.generator_: FeatureGenerator | None = None
-        self.model_: ZeroER | ZeroERLinkage | None = None
-        self.left_: Table | None = None
-        self.right_: Table | None = None
-        self.result_: ERResult | None = None
-
-    def run(self, left: Table, right: Table | None = None) -> ERResult:
-        """Resolve entities between two tables (or within one, dedup mode)."""
-        timings: dict[str, float] = {}
-        # Clear all fit state up front: a run that raises (or finds no
-        # candidates) must not leave freeze() pairing a previous run's model
-        # with this run's tables.
-        self.generator_ = None
-        self.model_ = None
-        self.result_ = None
-        self.left_, self.right_ = left, right
-
-        started = time.perf_counter()
-        pairs = self.blocker.block(left, right)
-        timings["blocking"] = time.perf_counter() - started
-        if not pairs:
-            self.result_ = ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
-            return self.result_
-
-        started = time.perf_counter()
-        generator = FeatureGenerator().fit(left, right)
-        X = generator.transform(left, right, pairs, engine=self.feature_engine)
-        timings["features"] = time.perf_counter() - started
-        self.generator_ = generator
-
-        started = time.perf_counter()
-        if right is not None and self.config.transitivity:
-            model = self._fit_linkage(left, right, pairs, generator, X)
-        else:
-            model = ZeroER(self.config)
-            model.fit(X, generator.feature_groups_, pairs if right is None else None)
-        timings["matching"] = time.perf_counter() - started
-        self.model_ = model
-
-        self.result_ = ERResult(
-            pairs=pairs,
-            scores=model.match_scores_,
-            labels=(model.match_scores_ > 0.5).astype(np.int64),
-            feature_names=generator.feature_names_,
-            seconds=timings,
+def __getattr__(name: str):
+    if name in _MOVED_TO_API:
+        warnings.warn(
+            f"repro.pipeline.{name} moved to repro.api; import it from repro "
+            "(or repro.api) — this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return self.result_
+        from repro.api import pipeline as _impl
 
-    def freeze(self, threshold: float = 0.5):
-        """Turn the completed batch run into an :class:`IncrementalResolver`.
+        return getattr(_impl, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-        The fitted model and feature generator are frozen as-is; the entity
-        store is seeded with every record of the run's table(s), clustered
-        by the run's predicted matches; the incremental index is built with
-        the pipeline blocker's retrieval parameters (requires a
-        :class:`~repro.blocking.overlap.TokenOverlapBlocker`). In linkage
-        mode the two tables share one store, so their record ids must be
-        disjoint.
-        """
-        from repro.incremental.index import IncrementalTokenIndex
-        from repro.incremental.resolver import IncrementalResolver
-        from repro.incremental.store import EntityStore
 
-        if self.result_ is None:
-            raise RuntimeError("run() must complete before freeze()")
-        if self.model_ is None or self.generator_ is None:
-            raise RuntimeError(
-                "cannot freeze: the run produced no candidate pairs, so no model was fitted"
-            )
-        left, right = self.left_, self.right_
-        if right is not None:
-            shared = set(left.ids()) & set(right.ids())
-            if shared:
-                example = sorted(shared, key=repr)[:3]
-                raise ValueError(
-                    f"cannot freeze: {len(shared)} record ids appear in both tables "
-                    f"(e.g. {example}); the shared entity store needs disjoint ids — "
-                    "prefix each side before running"
-                )
-        index = IncrementalTokenIndex.from_blocker(self.blocker, id_attr=left.id_attr)
-        store = EntityStore(id_attr=left.id_attr)
-        for table in (left, right) if right is not None else (left,):
-            for rec in table:
-                store.add(rec)
-                index.add([rec])
-        for pair, score in zip(self.result_.pairs, self.result_.scores):
-            if score > threshold:
-                store.merge(*pair)
-        return IncrementalResolver(
-            self.generator_,
-            self.model_,
-            index,
-            store,
-            threshold=threshold,
-            engine=self.feature_engine,
-        )
-
-    def _fit_linkage(self, left, right, pairs, generator, X) -> ZeroERLinkage:
-        left_pairs = co_candidate_pairs(pairs, side=0, cap=self.co_candidate_cap)
-        right_pairs = co_candidate_pairs(pairs, side=1, cap=self.co_candidate_cap)
-        engine = self.feature_engine
-        X_left = (
-            generator.transform(left, None, left_pairs, engine=engine) if left_pairs else None
-        )
-        X_right = (
-            generator.transform(right, None, right_pairs, engine=engine) if right_pairs else None
-        )
-        model = ZeroERLinkage(self.config)
-        model.fit(
-            X,
-            pairs,
-            feature_groups=generator.feature_groups_,
-            X_left=X_left,
-            left_pairs=left_pairs if X_left is not None else None,
-            X_right=X_right,
-            right_pairs=right_pairs if X_right is not None else None,
-        )
-        return model
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_MOVED_TO_API))

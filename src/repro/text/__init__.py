@@ -17,6 +17,8 @@ from repro.text.tokenizers import (
     DelimiterTokenizer,
     QgramTokenizer,
     WhitespaceTokenizer,
+    tokenizer_from_spec,
+    tokenizer_spec,
 )
 from repro.text.batch import (
     TokenPairStats,
@@ -60,6 +62,8 @@ __all__ = [
     "WhitespaceTokenizer",
     "AlnumTokenizer",
     "DelimiterTokenizer",
+    "tokenizer_spec",
+    "tokenizer_from_spec",
     "jaccard",
     "cosine",
     "dice",

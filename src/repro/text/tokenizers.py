@@ -16,6 +16,8 @@ __all__ = [
     "WhitespaceTokenizer",
     "AlnumTokenizer",
     "DelimiterTokenizer",
+    "tokenizer_spec",
+    "tokenizer_from_spec",
 ]
 
 
@@ -146,3 +148,48 @@ class DelimiterTokenizer(Tokenizer):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DelimiterTokenizer({self.delimiter!r})"
+
+
+def tokenizer_spec(tokenizer: Tokenizer) -> dict:
+    """JSON-serializable description of a standard tokenizer.
+
+    Covers the library's tokenizer families; a custom subclass cannot be
+    persisted declaratively (its behavior is not captured by the parameters)
+    and raises ``TypeError`` — exact types only.
+    """
+    kind = type(tokenizer)
+    if kind is QgramTokenizer:
+        return {
+            "type": "qgram",
+            "q": tokenizer.q,
+            "padded": tokenizer.padded,
+            "lowercase": tokenizer.lowercase,
+        }
+    if kind is DelimiterTokenizer:
+        return {
+            "type": "delimiter",
+            "delimiter": tokenizer.delimiter,
+            "lowercase": tokenizer.lowercase,
+            "strip": tokenizer.strip,
+        }
+    if kind is AlnumTokenizer:
+        return {"type": "alnum", "lowercase": tokenizer.lowercase}
+    if kind is WhitespaceTokenizer:
+        return {"type": "whitespace", "lowercase": tokenizer.lowercase}
+    raise TypeError(f"cannot serialize tokenizer of type {kind.__name__}")
+
+
+def tokenizer_from_spec(spec: dict) -> Tokenizer:
+    """Rebuild a tokenizer from :func:`tokenizer_spec` output."""
+    kind = spec["type"]
+    if kind == "qgram":
+        return QgramTokenizer(spec["q"], padded=spec["padded"], lowercase=spec["lowercase"])
+    if kind == "delimiter":
+        return DelimiterTokenizer(
+            spec["delimiter"], lowercase=spec["lowercase"], strip=spec["strip"]
+        )
+    if kind == "alnum":
+        return AlnumTokenizer(lowercase=spec["lowercase"])
+    if kind == "whitespace":
+        return WhitespaceTokenizer(lowercase=spec["lowercase"])
+    raise ValueError(f"unknown tokenizer spec type {kind!r}")

@@ -10,7 +10,7 @@ from repro.blocking import TokenOverlapBlocker
 from repro.features import FeatureGenerator
 from repro.features.types import AttributeType
 from repro.incremental import ArtifactError, load_artifacts, save_artifacts
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 
 @pytest.fixture(scope="module")

@@ -21,7 +21,7 @@ from repro.blocking.batch import TokenEncoding, sparse_overlap_select
 from repro.data.benchmarks import BENCHMARK_NAMES, load_benchmark
 from repro.data.table import Table
 from repro.incremental.index import IncrementalTokenIndex
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 #: Per-dataset blocking attribute (primary harness recipe).
 _ATTR = {

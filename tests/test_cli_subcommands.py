@@ -101,3 +101,114 @@ class TestFitResolveCLI:
         assert main(["run", *args, "-o", str(new)]) == 0
         assert main([*args, "-o", str(old)]) == 0
         assert new.read_text() == old.read_text()
+
+
+class TestSpecCLI:
+    def test_spec_init_stdout(self, capsys):
+        import json
+
+        assert main(["spec", "init", "--block-on", "name"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blocking"]["type"] == "token_overlap"
+        assert payload["blocking"]["attribute"] == "name"
+        assert payload["version"] == 1
+
+    def test_spec_init_flags_land_in_spec(self, csv_world):
+        import json
+
+        path = csv_world / "custom.json"
+        assert main(
+            ["spec", "init", "--block-on", "name", "--kappa", "0.4",
+             "--threshold", "0.7", "--no-transitivity", "-o", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["model"]["config"]["kappa"] == 0.4
+        assert payload["model"]["config"]["transitivity"] is False
+        assert payload["output"]["threshold"] == 0.7
+
+    def test_run_with_spec_matches_run_with_flags(self, csv_world):
+        spec_path = csv_world / "spec.json"
+        assert main(["spec", "init", "--block-on", "name", "-o", str(spec_path)]) == 0
+        tables = ["--left", str(csv_world / "left.csv"),
+                  "--right", str(csv_world / "right.csv")]
+        by_flags, by_spec = csv_world / "by_flags.csv", csv_world / "by_spec.csv"
+        assert main(["run", *tables, "--block-on", "name", "-o", str(by_flags)]) == 0
+        assert main(["run", *tables, "--spec", str(spec_path), "-o", str(by_spec)]) == 0
+        assert by_spec.read_text() == by_flags.read_text()
+
+    def test_fit_with_spec_embeds_provenance(self, csv_world):
+        import json
+
+        spec_path = csv_world / "fit_spec.json"
+        assert main(["spec", "init", "--block-on", "name", "-o", str(spec_path)]) == 0
+        art = csv_world / "art_spec"
+        assert main(
+            ["fit", "--left", str(csv_world / "base.csv"),
+             "--spec", str(spec_path), "--artifacts", str(art)]
+        ) == 0
+        manifest = json.loads((art / "manifest.json").read_text())
+        assert manifest["pipeline_spec"]["blocking"]["attribute"] == "name"
+
+    def test_spec_and_block_on_conflict(self, csv_world, capsys):
+        code = main(
+            ["run", "--left", str(csv_world / "left.csv"), "--block-on", "name",
+             "--spec", "whatever.json", "-o", str(csv_world / "x.csv")]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_block_on_and_spec(self, csv_world, capsys):
+        code = main(
+            ["run", "--left", str(csv_world / "left.csv"),
+             "-o", str(csv_world / "x.csv")]
+        )
+        assert code == 2
+        assert "--block-on" in capsys.readouterr().err
+
+    def test_malformed_spec_file(self, csv_world, capsys):
+        bad = csv_world / "bad.json"
+        bad.write_text('{"blocking": {"type": "token_overlap", "attribute": "name", "oops": 1}}')
+        code = main(
+            ["run", "--left", str(csv_world / "left.csv"),
+             "--spec", str(bad), "-o", str(csv_world / "x.csv")]
+        )
+        assert code == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, csv_world, capsys):
+        code = main(
+            ["run", "--left", str(csv_world / "left.csv"),
+             "--spec", str(csv_world / "absent.json"), "-o", str(csv_world / "x.csv")]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_cli_flags_override_spec_values(self, csv_world):
+        """--kappa on top of --spec wins over the spec's kappa."""
+        spec_path = csv_world / "spec_k.json"
+        assert main(["spec", "init", "--block-on", "name", "--kappa", "0.6",
+                     "-o", str(spec_path)]) == 0
+        tables = ["--left", str(csv_world / "left.csv"),
+                  "--right", str(csv_world / "right.csv")]
+        base, overridden = csv_world / "k_base.csv", csv_world / "k_override.csv"
+        assert main(["run", *tables, "--block-on", "name", "--kappa", "0.15",
+                     "-o", str(base)]) == 0
+        assert main(["run", *tables, "--spec", str(spec_path), "--kappa", "0.15",
+                     "-o", str(overridden)]) == 0
+        # κ=0.15 forced over the spec's 0.6 → identical to the flag-built run
+        assert overridden.read_text() == base.read_text()
+
+    def test_spec_with_unknown_blocking_attribute_errors(self, csv_world, capsys):
+        """A spec blocking on a non-existent column must fail loudly, like --block-on."""
+        import json
+
+        bad = csv_world / "bad_attr.json"
+        bad.write_text(json.dumps(
+            {"blocking": {"type": "token_overlap", "attribute": "nosuchcol"}}
+        ))
+        code = main(
+            ["run", "--left", str(csv_world / "left.csv"),
+             "--spec", str(bad), "-o", str(csv_world / "x.csv")]
+        )
+        assert code == 2
+        assert "nosuchcol" in capsys.readouterr().err

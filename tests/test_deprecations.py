@@ -1,0 +1,67 @@
+"""Deprecation shims: old import paths warn (never raise) and stay functional."""
+
+import pytest
+
+import repro
+
+
+def test_import_repro_is_warning_free():
+    # importing the package itself must not trip -W error::DeprecationWarning
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", "import repro"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_repro_pipeline_module_warns_and_forwards():
+    import repro.pipeline as legacy
+
+    with pytest.warns(DeprecationWarning, match="moved to repro.api"):
+        pipeline_cls = legacy.ERPipeline
+    with pytest.warns(DeprecationWarning, match="moved to repro.api"):
+        result_cls = legacy.ERResult
+    assert pipeline_cls is repro.ERPipeline
+    assert result_cls is repro.ERResult
+
+
+def test_repro_pipeline_from_import_warns():
+    with pytest.warns(DeprecationWarning, match="moved to repro.api"):
+        from repro.pipeline import ERPipeline  # noqa: F401
+
+
+def test_repro_pipeline_unknown_attribute_raises():
+    import repro.pipeline as legacy
+
+    with pytest.raises(AttributeError):
+        legacy.no_such_name
+
+
+def test_autoer_alias_warns_and_forwards():
+    with pytest.warns(DeprecationWarning, match="AutoER is deprecated"):
+        alias = repro.AutoER
+    assert alias is repro.ZeroER
+
+
+def test_autoer_not_in_all():
+    assert "AutoER" not in repro.__all__
+    assert "AutoER" in dir(repro)
+
+
+def test_tokenizer_spec_moved_to_text():
+    import repro.incremental.index as legacy
+    from repro.text.tokenizers import tokenizer_from_spec, tokenizer_spec
+
+    with pytest.warns(DeprecationWarning, match="moved to repro.text.tokenizers"):
+        assert legacy.tokenizer_spec is tokenizer_spec
+    with pytest.warns(DeprecationWarning, match="moved to repro.text.tokenizers"):
+        assert legacy.tokenizer_from_spec is tokenizer_from_spec
+
+
+def test_repro_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.no_such_name

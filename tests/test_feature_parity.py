@@ -13,7 +13,7 @@ from repro.data.benchmarks import BENCHMARK_NAMES, load_benchmark
 from repro.data.table import Table
 from repro.eval.harness import blocker_for
 from repro.features.generator import FeatureGenerator
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 #: Cap per-dataset pair counts so the full six-dataset sweep stays fast.
 _MAX_PAIRS = 600
@@ -182,7 +182,7 @@ class TestIncrementalResolverParity:
     def test_engine_validated_eagerly_and_persisted(self, tmp_path):
         from repro.incremental.resolver import IncrementalResolver
 
-        with pytest.raises(ValueError, match="feature_engine"):
+        with pytest.raises(ValueError, match="engine must be"):
             ERPipeline(blocking_attribute="name", feature_engine="turbo")
 
         merged, _ = load_benchmark("rest_fz", scale="tiny", seed=6).as_dedup()

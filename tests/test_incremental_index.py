@@ -4,16 +4,14 @@ import pytest
 
 from repro.blocking import AttributeEquivalenceBlocker, TokenOverlapBlocker
 from repro.data.table import Table
-from repro.incremental.index import (
-    IncrementalTokenIndex,
-    tokenizer_from_spec,
-    tokenizer_spec,
-)
+from repro.incremental.index import IncrementalTokenIndex
 from repro.text.tokenizers import (
     AlnumTokenizer,
     DelimiterTokenizer,
     QgramTokenizer,
     WhitespaceTokenizer,
+    tokenizer_from_spec,
+    tokenizer_spec,
 )
 
 

@@ -16,7 +16,7 @@ import pytest
 from repro.data.table import Table
 from repro.eval.clustering import connected_components
 from repro.incremental import IncrementalResolver
-from repro.pipeline import ERPipeline
+from repro import ERPipeline
 
 _SUFFIXES = ("grill", "bistro", "cafe", "diner", "tavern", "kitchen")
 _WORDS = (

@@ -1,5 +1,7 @@
 """Public API surface tests: the imports README and DESIGN.md promise."""
 
+import pytest
+
 import repro
 
 
@@ -9,8 +11,9 @@ def test_all_exports_resolve():
 
 
 def test_autoer_alias():
-    # the arXiv preprint's name for the same model
-    assert repro.AutoER is repro.ZeroER
+    # the arXiv preprint's name for the same model (now a deprecated alias)
+    with pytest.warns(DeprecationWarning):
+        assert repro.AutoER is repro.ZeroER
 
 
 def test_version_present():
@@ -18,15 +21,42 @@ def test_version_present():
 
 
 def test_subpackages_importable():
+    import repro.api
     import repro.baselines
     import repro.blocking
     import repro.core
     import repro.data
     import repro.eval
     import repro.features
-    import repro.pipeline
+    import repro.incremental
+    import repro.pipeline  # the deprecated shim module still imports cleanly
     import repro.text
     import repro.utils  # noqa: F401
+
+
+def test_facade_names_exist():
+    # the curated top-level surface of the declarative/staged API
+    from repro import (  # noqa: F401
+        CandidateSet,
+        ERPipeline,
+        ERResult,
+        FeatureMatrix,
+        MatchSet,
+        PipelineSpec,
+        ResolutionSession,
+        SpecError,
+        load_spec,
+        resolve,
+    )
+
+
+def test_api_package_all_resolves():
+    import repro.api
+
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None, name
+        # everything repro.api curates is re-exported at top level
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
 
 
 def test_readme_quickstart_names_exist():
