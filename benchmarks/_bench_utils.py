@@ -163,16 +163,99 @@ def one_shot(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
-def write_bench_report(name: str, payload: dict) -> Path:
+#: Shared envelope schema for every ``BENCH_*.json`` file.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def bench_workload(
+    dataset: str,
+    engine: str,
+    seconds: float,
+    baseline_engine: str | None = None,
+    baseline_seconds: float | None = None,
+    speedup: float | None = None,
+    **extras,
+) -> dict:
+    """One workload row of the shared ``repro-bench/1`` schema.
+
+    ``dataset`` / ``engine`` / ``seconds`` / ``speedup`` are the required
+    columns every bench reports; the measured engine's baseline (the
+    reference it is compared against) rides along as ``baseline_engine`` /
+    ``baseline_seconds``, and bench-specific columns go in ``extras``.
+    ``speedup`` is derived from the baseline when not given explicitly.
+    """
+    if speedup is None:
+        if baseline_seconds is None:
+            raise ValueError("bench_workload needs a speedup or baseline_seconds")
+        speedup = baseline_seconds / max(seconds, 1e-9)
+    row = {
+        "dataset": dataset,
+        "engine": engine,
+        "seconds": round(float(seconds), 4),
+        "speedup": round(float(speedup), 2),
+    }
+    if baseline_engine is not None:
+        row["baseline_engine"] = baseline_engine
+    if baseline_seconds is not None:
+        row["baseline_seconds"] = round(float(baseline_seconds), 4)
+    row.update(extras)
+    return row
+
+
+def validate_bench_report(doc: dict) -> None:
+    """Structural check of a ``repro-bench/1`` document; raises ``ValueError``."""
+    problems = []
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench report must be a dict, got {type(doc).__name__}")
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("tool_version", "benchmark"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            problems.append(f"{key} must be a non-empty string")
+    if not isinstance(doc.get("meta"), dict):
+        problems.append("meta must be a dict")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        problems.append("workloads must be a non-empty list")
+        workloads = []
+    for i, row in enumerate(workloads):
+        if not isinstance(row, dict):
+            problems.append(f"workloads[{i}] must be a dict")
+            continue
+        for key in ("dataset", "engine"):
+            if not isinstance(row.get(key), str) or not row.get(key):
+                problems.append(f"workloads[{i}].{key} must be a non-empty string")
+        for key in ("seconds", "speedup"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                problems.append(f"workloads[{i}].{key} must be a non-negative number")
+    if problems:
+        raise ValueError("invalid bench report: " + "; ".join(problems))
+
+
+def write_bench_report(name: str, workloads: list, meta: dict | None = None) -> Path:
     """Write ``BENCH_<name>.json`` next to the benchmarks.
 
     Machine-readable companion to the printed tables: benches that feed
     dashboards or regression tracking dump their measured rows here so the
-    numbers survive the terminal session.
+    numbers survive the terminal session. All benches share the
+    ``repro-bench/1`` envelope (validated before writing): tool version,
+    benchmark name, workload rows built by :func:`bench_workload`, and a
+    free-form ``meta`` dict (seed, scale, ...).
     """
+    from repro import __version__
+
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "tool_version": __version__,
+        "benchmark": name,
+        "workloads": list(workloads),
+        "meta": dict(meta or {}),
+    }
+    validate_bench_report(doc)
     path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 

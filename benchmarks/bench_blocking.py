@@ -16,7 +16,7 @@ workload. Set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI smoke run
 import os
 import time
 
-from _bench_utils import emit, one_shot, write_bench_report
+from _bench_utils import bench_workload, emit, one_shot, write_bench_report
 
 from repro.blocking import TokenOverlapBlocker
 from repro.data import load_benchmark
@@ -64,18 +64,19 @@ def _run_workload(name, scale, mode, min_overlap, top_k):
     # a fast wrong answer is no answer: same pairs, same order
     assert pair_lists["sparse"] == pair_lists["per-record"]
     n_pairs = len(pair_lists["sparse"])
-    return {
-        "dataset": name,
-        "scale": scale,
-        "mode": mode,
-        "n_left": len(left),
-        "n_right": len(right) if right is not None else len(left),
-        "n_pairs": n_pairs,
-        "per_record_sec": round(results["per-record"], 4),
-        "sparse_sec": round(results["sparse"], 4),
-        "sparse_pairs_per_sec": round(n_pairs / max(results["sparse"], 1e-9)),
-        "speedup": round(results["per-record"] / max(results["sparse"], 1e-9), 2),
-    }
+    return bench_workload(
+        name,
+        "sparse",
+        results["sparse"],
+        baseline_engine="per-record",
+        baseline_seconds=results["per-record"],
+        scale=scale,
+        mode=mode,
+        n_left=len(left),
+        n_right=len(right) if right is not None else len(left),
+        n_pairs=n_pairs,
+        pairs_per_sec=round(n_pairs / max(results["sparse"], 1e-9)),
+    )
 
 
 def test_sparse_vs_per_record_blocking(benchmark, capfd):
@@ -89,9 +90,9 @@ def test_sparse_vs_per_record_blocking(benchmark, capfd):
             "workload": f"{w['dataset']}/{w['scale']}/{w['mode']}",
             "tables": f"{w['n_left']} x {w['n_right']}",
             "pairs": w["n_pairs"],
-            "per_record_sec": w["per_record_sec"],
-            "sparse_sec": w["sparse_sec"],
-            "pairs/sec": w["sparse_pairs_per_sec"],
+            "per_record_sec": w["baseline_seconds"],
+            "sparse_sec": w["seconds"],
+            "pairs/sec": w["pairs_per_sec"],
             "speedup": w["speedup"],
         }
         for w in report
@@ -110,7 +111,7 @@ def test_sparse_vs_per_record_blocking(benchmark, capfd):
         emit(capfd, "smoke mode: skipping report write and speedup assertions")
         return
 
-    report_path = write_bench_report("blocking", {"seed": SEED, "workloads": report})
+    report_path = write_bench_report("blocking", report, meta={"seed": SEED})
     emit(capfd, f"report written to {report_path}")
 
     largest = report[-1]

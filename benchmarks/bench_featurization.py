@@ -23,7 +23,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from _bench_utils import emit, one_shot, write_bench_report
+from _bench_utils import bench_workload, emit, one_shot, write_bench_report
 
 from repro.data import load_benchmark
 from repro.eval.harness import blocker_for, format_table
@@ -94,20 +94,21 @@ def test_batch_vs_per_pair_featurization(benchmark, capfd):
             batch, ref = results["batch"], results["per-pair"]
             families = sorted(set(batch["families"]) | set(ref["families"]))
             report.append(
-                {
-                    "dataset": name,
-                    "scale": scale,
-                    "n_pairs": len(pairs),
-                    "n_features": len(gen.feature_names_),
-                    "batch_sec": round(batch["seconds"], 4),
-                    "per_pair_sec": round(ref["seconds"], 4),
-                    "batch_pairs_per_sec": round(len(pairs) / max(batch["seconds"], 1e-9)),
-                    "per_pair_pairs_per_sec": round(len(pairs) / max(ref["seconds"], 1e-9)),
-                    "speedup": round(ref["seconds"] / max(batch["seconds"], 1e-9), 2),
-                    "families": {
+                bench_workload(
+                    name,
+                    "batch",
+                    batch["seconds"],
+                    baseline_engine="per-pair",
+                    baseline_seconds=ref["seconds"],
+                    scale=scale,
+                    n_pairs=len(pairs),
+                    n_features=len(gen.feature_names_),
+                    pairs_per_sec=round(len(pairs) / max(batch["seconds"], 1e-9)),
+                    baseline_pairs_per_sec=round(len(pairs) / max(ref["seconds"], 1e-9)),
+                    families={
                         fam: {
-                            "batch_sec": round(batch["families"].get(fam, 0.0), 4),
-                            "per_pair_sec": round(ref["families"].get(fam, 0.0), 4),
+                            "seconds": round(batch["families"].get(fam, 0.0), 4),
+                            "baseline_seconds": round(ref["families"].get(fam, 0.0), 4),
                             "speedup": round(
                                 ref["families"].get(fam, 0.0)
                                 / max(batch["families"].get(fam, 0.0), 1e-9),
@@ -116,7 +117,7 @@ def test_batch_vs_per_pair_featurization(benchmark, capfd):
                         }
                         for fam in families
                     },
-                }
+                )
             )
         return report
 
@@ -127,9 +128,9 @@ def test_batch_vs_per_pair_featurization(benchmark, capfd):
             "dataset": f"{w['dataset']}/{w['scale']}",
             "pairs": w["n_pairs"],
             "features": w["n_features"],
-            "per_pair_sec": w["per_pair_sec"],
-            "batch_sec": w["batch_sec"],
-            "pairs/sec": w["batch_pairs_per_sec"],
+            "per_pair_sec": w["baseline_seconds"],
+            "batch_sec": w["seconds"],
+            "pairs/sec": w["pairs_per_sec"],
             "speedup": w["speedup"],
         }
         for w in report
@@ -144,8 +145,8 @@ def test_batch_vs_per_pair_featurization(benchmark, capfd):
         {
             "dataset": w["dataset"],
             "family": fam,
-            "per_pair_sec": stats["per_pair_sec"],
-            "batch_sec": stats["batch_sec"],
+            "per_pair_sec": stats["baseline_seconds"],
+            "batch_sec": stats["seconds"],
             "speedup": stats["speedup"],
         }
         for w in report
@@ -161,7 +162,7 @@ def test_batch_vs_per_pair_featurization(benchmark, capfd):
         emit(capfd, "smoke mode: skipping report write and speedup assertions")
         return
 
-    report_path = write_bench_report("featurization", {"seed": SEED, "workloads": report})
+    report_path = write_bench_report("featurization", report, meta={"seed": SEED})
     emit(capfd, f"report written to {report_path}")
 
     primary = report[0]

@@ -15,7 +15,7 @@ batch resolves faster than the full re-run by a wide margin.
 
 import time
 
-from _bench_utils import emit, one_shot, write_bench_report
+from _bench_utils import bench_workload, emit, one_shot, write_bench_report
 
 from repro.blocking import TokenOverlapBlocker
 from repro.data import load_benchmark
@@ -70,14 +70,16 @@ def test_incremental_vs_full_rerun(benchmark, capfd):
             full_sec = time.perf_counter() - started
 
             rows.append(
-                {
-                    "batch": size,
-                    "pairs_scored": len(result.pairs),
-                    "matches": len(result.matches),
-                    "incremental_sec": round(incremental_sec, 4),
-                    "full_rerun_sec": round(full_sec, 4),
-                    "speedup": round(full_sec / max(incremental_sec, 1e-9), 1),
-                }
+                bench_workload(
+                    DATASET,
+                    "incremental",
+                    incremental_sec,
+                    baseline_engine="full-rerun",
+                    baseline_seconds=full_sec,
+                    batch=size,
+                    pairs_scored=len(result.pairs),
+                    matches=len(result.matches),
+                )
             )
 
         prior_after = resolver.model.params_.prior_match
@@ -85,20 +87,29 @@ def test_incremental_vs_full_rerun(benchmark, capfd):
 
     rows, fit_seconds, prior_before, prior_after, base_n = one_shot(benchmark, run)
 
+    table_rows = [
+        {
+            "batch": w["batch"],
+            "pairs_scored": w["pairs_scored"],
+            "matches": w["matches"],
+            "incremental_sec": w["seconds"],
+            "full_rerun_sec": w["baseline_seconds"],
+            "speedup": w["speedup"],
+        }
+        for w in rows
+    ]
     emit(capfd, "")
     emit(capfd, format_table(
-        rows,
+        table_rows,
         ["batch", "pairs_scored", "matches", "incremental_sec", "full_rerun_sec", "speedup"],
         title=f"Incremental resolve vs full re-run ({DATASET}/{SCALE}, base={base_n}, "
               f"initial fit {fit_seconds:.1f}s)",
     ))
-    report_path = write_bench_report("incremental", {
-        "dataset": DATASET,
+    report_path = write_bench_report("incremental", rows, meta={
         "scale": SCALE,
         "seed": SEED,
         "base_records": base_n,
         "initial_fit_sec": round(fit_seconds, 4),
-        "rows": rows,
     })
     emit(capfd, f"report written to {report_path}")
 
@@ -106,5 +117,5 @@ def test_incremental_vs_full_rerun(benchmark, capfd):
     assert prior_after == prior_before
     # every batch must beat the full re-run; the 10-record batch decisively so
     for row in rows:
-        assert row["incremental_sec"] < row["full_rerun_sec"], row
+        assert row["seconds"] < row["baseline_seconds"], row
     assert rows[0]["speedup"] > 10.0

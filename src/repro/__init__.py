@@ -39,8 +39,11 @@ from repro.api import (
     PipelineSpec,
     ResolutionSession,
     SpecError,
+    TelemetrySpec,
+    configure_telemetry,
     load_spec,
     resolve,
+    telemetry_active,
 )
 from repro.core import (
     EMFailureError,
@@ -91,8 +94,12 @@ __all__ = [
     "FeatureSpec",
     "ModelSpec",
     "OutputSpec",
+    "TelemetrySpec",
     "SpecError",
     "SPEC_VERSION",
+    # observability
+    "configure_telemetry",
+    "telemetry_active",
     # incremental resolution
     "EntityStore",
     "IncrementalResolver",

@@ -31,14 +31,25 @@ Four subcommands cover the batch, incremental, and declarative workflows:
 
         python -m repro spec init --block-on name -o spec.json
 
+``report``
+    Print the run report embedded in an artifact directory (the telemetry
+    of the run that produced it)::
+
+        python -m repro report art/
+        python -m repro report art/ -o report.json
+
 ``run`` and ``fit`` accept either ``--block-on`` (flag-built pipeline) or
 ``--spec spec.json`` (declarative pipeline); explicit flags like ``--kappa``
-override the corresponding spec values.
+override the corresponding spec values. ``run``, ``fit``, and ``resolve``
+accept ``--trace out.jsonl`` to stream tracing spans to a JSON-lines file,
+and ``run`` accepts ``--report report.json`` to write the run report.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from pathlib import Path
 
@@ -57,7 +68,38 @@ from repro.data.io import read_csv
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "fit", "resolve", "spec")
+_SUBCOMMANDS = ("run", "fit", "resolve", "spec", "report")
+
+
+class _CliError(Exception):
+    """Fatal CLI error: ``main`` prints it as ``error: ...`` and exits 2."""
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream tracing spans to this JSON-lines file",
+    )
+
+
+@contextlib.contextmanager
+def _maybe_trace(args):
+    """Route spans to ``--trace PATH`` for the wrapped block, if requested."""
+    from repro.obs import configure_telemetry
+
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        yield
+        return
+    try:
+        configure_telemetry("jsonl", path=trace_path)
+    except OSError as exc:
+        raise _CliError(f"cannot open trace file {trace_path}: {exc}") from exc
+    try:
+        yield
+    finally:
+        configure_telemetry(None)  # closes the jsonl file
 
 
 def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) -> None:
@@ -96,6 +138,7 @@ def _add_fit_arguments(parser: argparse.ArgumentParser, *, with_output: bool) ->
     parser.add_argument(
         "--no-transitivity", action="store_true", help="disable transitivity calibration"
     )
+    _add_trace_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--one-to-one",
         action="store_true",
         help="post-process into a one-to-one assignment (linkage mode only)",
+    )
+    run.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the run report (telemetry JSON document) to this file",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -133,7 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument(
         "-o", "--output", help="optional CSV for record→entity assignments"
     )
+    _add_trace_argument(resolve)
     resolve.set_defaults(func=_cmd_resolve)
+
+    report = sub.add_parser(
+        "report", help="print the run report embedded in an artifact directory"
+    )
+    report.add_argument("artifacts", help="artifact directory written by fit/resolve")
+    report.add_argument(
+        "-o", "--output", help="write the report JSON here instead of stdout"
+    )
+    report.set_defaults(func=_cmd_report)
 
     spec = sub.add_parser("spec", help="scaffold declarative pipeline spec files")
     spec_sub = spec.add_subparsers(dest="spec_command", required=True)
@@ -277,11 +335,22 @@ def _cmd_run(args) -> int:
         code = _check_blocking_attributes(pipeline, left)
         if code:
             return code
-    result = pipeline.run(left, right)
+    with _maybe_trace(args):
+        result = pipeline.run(left, right)
 
     use_one_to_one = one_to_one and right is not None
     rows = result.to_frame(threshold=threshold, one_to_one=use_one_to_one)
     out_path = result.to_csv(Path(args.output), frame=rows)
+    if args.report:
+        try:
+            Path(args.report).write_text(
+                json.dumps(result.report(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            print(f"error: cannot write {args.report}: {exc}", file=sys.stderr)
+            return 2
+        print(f"run report written to {args.report}")
     print(_blocking_report(result.pairs, left, right))
     print(
         f"{len(result.pairs)} candidate pairs scored, {len(rows)} matches written to {out_path}"
@@ -310,7 +379,8 @@ def _cmd_fit(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    pipeline.run(left, right)
+    with _maybe_trace(args):
+        result = pipeline.run(left, right)
     try:
         resolver = pipeline.freeze(threshold=threshold)
     except (ValueError, RuntimeError) as exc:
@@ -318,7 +388,7 @@ def _cmd_fit(args) -> int:
         # recipe that produced no candidate pairs to fit on
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    path = resolver.save(args.artifacts)
+    path = resolver.save(args.artifacts, report=result.report())
     print(
         f"fitted on {len(resolver.store)} records "
         f"({resolver.store.n_entities} entities, "
@@ -334,7 +404,8 @@ def _cmd_resolve(args) -> int:
     try:
         resolver = IncrementalResolver.load(args.artifacts)
         records = read_csv(Path(args.records), id_attr=resolver.store.id_attr)
-        result = resolver.resolve(records)
+        with _maybe_trace(args):
+            result = resolver.resolve(records)
     except (ArtifactError, OSError, ValueError) as exc:
         # e.g. missing/corrupt artifacts, unreadable CSV, or a record id
         # that is already in the store (a batch streamed twice)
@@ -349,13 +420,55 @@ def _cmd_resolve(args) -> int:
         except OSError as exc:
             print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
             return 2
-    resolver.save(args.artifacts)  # persist the updated store in place
+    # persist the updated store in place, with this batch's telemetry
+    resolver.save(args.artifacts, report=result.report())
     print(
         f"{len(result.record_ids)} records resolved against {len(result.pairs)} "
         f"candidate pairs, {len(result.matches)} matches; "
         f"store now holds {len(resolver.store)} records in "
         f"{resolver.store.n_entities} entities"
     )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import ReportError, validate_report
+
+    manifest_path = Path(args.artifacts) / "manifest.json"
+    if not manifest_path.is_file():
+        print(
+            f"error: {args.artifacts} is not an artifact directory (no manifest.json)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {manifest_path}: {exc}", file=sys.stderr)
+        return 2
+    report = manifest.get("run_report")
+    if report is None:
+        print(
+            f"error: {args.artifacts} carries no run report "
+            "(written by fit/resolve builds that embed telemetry)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        validate_report(report)
+    except ReportError as exc:
+        print(f"error: embedded run report is invalid: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        try:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"run report written to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -391,7 +504,11 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
         argv = ["run", *argv]
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

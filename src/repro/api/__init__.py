@@ -25,7 +25,9 @@ from repro.api.spec import (
     OutputSpec,
     PipelineSpec,
     SpecError,
+    TelemetrySpec,
 )
+from repro.obs import configure_telemetry, telemetry_active
 
 __all__ = [
     "ERPipeline",
@@ -39,8 +41,11 @@ __all__ = [
     "FeatureSpec",
     "ModelSpec",
     "OutputSpec",
+    "TelemetrySpec",
     "SpecError",
     "SPEC_VERSION",
     "resolve",
     "load_spec",
+    "configure_telemetry",
+    "telemetry_active",
 ]

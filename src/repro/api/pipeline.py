@@ -45,6 +45,25 @@ class ERResult:
     labels: np.ndarray
     feature_names: list[str]
     seconds: dict[str, float] = field(default_factory=dict)
+    #: Spans/metrics/EM summaries captured by the run (a
+    #: :class:`~repro.obs.report.RunTelemetry`); ``None`` only for results
+    #: constructed outside the session layer.
+    telemetry: object | None = field(default=None, repr=False, compare=False)
+
+    def report(self) -> dict:
+        """The run as one versioned JSON document (see :mod:`repro.obs.report`).
+
+        Assembles the captured spans, metrics, candidate statistics, and EM
+        history into a :func:`repro.obs.validate_report`-clean dict. Works
+        on untraced runs too — the document then has empty spans/metrics
+        but real timings and EM summaries.
+        """
+        from repro.obs import RunTelemetry, build_report
+
+        telemetry = self.telemetry
+        if telemetry is None:
+            telemetry = RunTelemetry(kind="resolve", traced=False)
+        return build_report(telemetry, self.seconds)
 
     @property
     def matches(self) -> list[tuple]:

@@ -23,7 +23,6 @@ scores, same timing keys.
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +34,15 @@ from repro.core.config import ZeroERConfig
 from repro.core.model import ZeroER
 from repro.data.table import Table
 from repro.features.generator import FeatureGenerator, validate_feature_engine
+from repro.obs import (
+    RunCollector,
+    RunTelemetry,
+    add_counter,
+    collector_scope,
+    em_history_summary,
+    span,
+    telemetry_active,
+)
 
 __all__ = ["ResolutionSession", "CandidateSet", "FeatureMatrix", "MatchSet"]
 
@@ -173,6 +181,16 @@ class ResolutionSession:
         self.candidates_: CandidateSet | None = None
         self.features_: FeatureMatrix | None = None
         self.matches_: MatchSet | None = None
+        #: Created lazily on the first traced stage; one collector spans the
+        #: whole session so staged runs produce a single coherent trace.
+        self._collector: RunCollector | None = None
+
+    def _collector_scope(self):
+        """The session's span/metric capture scope (no-op when untraced)."""
+        if self._collector is None and telemetry_active():
+            mode = "dedup" if self.right is None else "linkage"
+            self._collector = RunCollector("resolve", mode=mode)
+        return collector_scope(self._collector)
 
     # -- stage 1: blocking -----------------------------------------------------
 
@@ -204,11 +222,13 @@ class ResolutionSession:
                 effective = copy.deepcopy(effective)
                 effective.engine = blocking_engine
 
-        started = time.perf_counter()
-        pairs = effective.block(self.left, self.right)
-        seconds = time.perf_counter() - started
+        with self._collector_scope():
+            with span("blocking", blocker=type(effective).__name__) as sp:
+                pairs = effective.block(self.left, self.right)
+                sp.set(n_pairs=len(pairs))
+            add_counter("blocking.candidate_pairs", len(pairs))
         self.candidates_ = CandidateSet(
-            pairs=pairs, blocker=effective, seconds=seconds, session=self
+            pairs=pairs, blocker=effective, seconds=sp.seconds, session=self
         )
         self.features_ = None
         self.matches_ = None
@@ -230,22 +250,26 @@ class ResolutionSession:
         effective = engine if engine is not None else self.pipeline.feature_engine
         validate_feature_engine(effective)
         candidates = self.block()
-        started = time.perf_counter()
-        generator = FeatureGenerator(type_overrides=self.pipeline.type_overrides).fit(
-            self.left, self.right
-        )
-        if candidates.pairs:
-            X = generator.transform(self.left, self.right, candidates.pairs, engine=effective)
-        else:
-            X = np.zeros((0, len(generator.feature_names_)))
-        seconds = time.perf_counter() - started
+        with self._collector_scope():
+            with span("features", engine=effective) as sp:
+                with span("features.fit"):
+                    generator = FeatureGenerator(
+                        type_overrides=self.pipeline.type_overrides
+                    ).fit(self.left, self.right)
+                if candidates.pairs:
+                    X = generator.transform(
+                        self.left, self.right, candidates.pairs, engine=effective
+                    )
+                else:
+                    X = np.zeros((0, len(generator.feature_names_)))
+                sp.set(n_pairs=int(X.shape[0]), n_features=int(X.shape[1]))
         self.features_ = FeatureMatrix(
             X=X,
             feature_names=generator.feature_names_,
             feature_groups=generator.feature_groups_,
             generator=generator,
             engine=effective,
-            seconds=seconds,
+            seconds=sp.seconds,
             session=self,
         )
         self.matches_ = None
@@ -278,6 +302,7 @@ class ResolutionSession:
         timings: dict[str, float] = {"blocking": candidates.seconds}
         if not candidates.pairs:
             result = ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
+            result.telemetry = self._run_telemetry(candidates, None, None, effective)
             self.matches_ = MatchSet(
                 result=result, model=None, generator=None, config=effective, session=self
             )
@@ -287,33 +312,42 @@ class ResolutionSession:
         features = self.featurize()
         timings["features"] = features.seconds
 
-        started = time.perf_counter()
-        if self.right is not None and effective.transitivity:
-            model = self.pipeline._fit_linkage(
-                self.left,
-                self.right,
-                candidates.pairs,
-                features.generator,
-                features.X,
-                config=effective,
-                engine=features.engine,
-            )
-        else:
-            model = ZeroER(effective)
-            model.fit(
-                features.X,
-                features.feature_groups,
-                candidates.pairs if self.right is None else None,
-            )
-        timings["matching"] = time.perf_counter() - started
+        with self._collector_scope():
+            with span(
+                "matching",
+                n_pairs=len(candidates.pairs),
+                transitivity=bool(effective.transitivity),
+            ) as sp:
+                if self.right is not None and effective.transitivity:
+                    model = self.pipeline._fit_linkage(
+                        self.left,
+                        self.right,
+                        candidates.pairs,
+                        features.generator,
+                        features.X,
+                        config=effective,
+                        engine=features.engine,
+                    )
+                else:
+                    model = ZeroER(effective)
+                    model.fit(
+                        features.X,
+                        features.feature_groups,
+                        candidates.pairs if self.right is None else None,
+                    )
+                labels = (model.match_scores_ > 0.5).astype(np.int64)
+            add_counter("matching.pairs_scored", len(candidates.pairs))
+            add_counter("matching.matches", int(labels.sum()))
+        timings["matching"] = sp.seconds
 
         result = ERResult(
             pairs=candidates.pairs,
             scores=model.match_scores_,
-            labels=(model.match_scores_ > 0.5).astype(np.int64),
+            labels=labels,
             feature_names=features.feature_names,
             seconds=timings,
         )
+        result.telemetry = self._run_telemetry(candidates, features, model, effective)
         self.matches_ = MatchSet(
             result=result,
             model=model,
@@ -341,9 +375,60 @@ class ResolutionSession:
         pipeline.fitted_config_ = None
         pipeline.fitted_engine_ = None
         pipeline.left_, pipeline.right_ = self.left, self.right
-        matches = self.match()
+        with self._collector_scope():
+            with span("resolve", mode="dedup" if self.right is None else "linkage"):
+                matches = self.match()
         self._publish(matches)  # re-publish when match() was already cached
-        return matches.to_result()
+        result = matches.to_result()
+        if self._collector is not None and result.telemetry is not None:
+            # the root span closed after match() attached the telemetry:
+            # refresh the metrics snapshot (the spans list is shared)
+            result.telemetry.metrics = self._collector.registry.snapshot()
+        return result
+
+    def _run_telemetry(self, candidates, features, model, config) -> RunTelemetry:
+        """Assemble the telemetry attached to this session's result.
+
+        Always populated — even untraced runs carry the cheap summaries
+        (mode/sizes, candidate statistics, EM history); the spans list and
+        metrics snapshot are filled only when a collector was active.
+        """
+        n_left = len(self.left)
+        n_right = len(self.right) if self.right is not None else None
+        total = n_left * (n_left - 1) // 2 if self.right is None else n_left * n_right
+        n_candidates = len(candidates.pairs)
+        stats = {
+            "n_candidates": n_candidates,
+            "total_pairs": total,
+            "reduction_ratio": 1.0 - n_candidates / total if total else 0.0,
+        }
+        context = {
+            "mode": "dedup" if self.right is None else "linkage",
+            "n_left": n_left,
+            "n_right": n_right,
+            "feature_engine": features.engine if features is not None else None,
+            "n_features": len(features.feature_names) if features is not None else 0,
+            "transitivity": bool(config.transitivity),
+        }
+        em = em_history_summary(model.history_) if model is not None else None
+        collector = self._collector
+        if collector is not None:
+            return RunTelemetry(
+                kind="resolve",
+                traced=True,
+                spans=collector.spans,
+                metrics=collector.registry.snapshot(),
+                context=context,
+                candidate_statistics=stats,
+                em=em,
+            )
+        return RunTelemetry(
+            kind="resolve",
+            traced=False,
+            context=context,
+            candidate_statistics=stats,
+            em=em,
+        )
 
     def _publish(self, matches: MatchSet) -> None:
         """Copy a completed match's fitted state onto the pipeline.

@@ -40,6 +40,7 @@ __all__ = [
     "FeatureSpec",
     "ModelSpec",
     "OutputSpec",
+    "TelemetrySpec",
     "PipelineSpec",
 ]
 
@@ -221,6 +222,57 @@ class OutputSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Declarative telemetry: which span sink (if any) a run should feed.
+
+    ``sink`` is one of :data:`repro.obs.SINK_NAMES` (``"none"``, the
+    default, keeps telemetry fully disabled — the no-op fast path).
+    ``path`` is the output file for the ``"jsonl"`` sink and is invalid
+    for any other sink.
+    """
+
+    sink: str = "none"
+    path: str | None = None
+
+    def __post_init__(self):
+        from repro.obs import SINK_NAMES
+
+        if self.sink not in SINK_NAMES:
+            raise SpecError(
+                f"telemetry sink must be one of {SINK_NAMES}, got {self.sink!r}"
+            )
+        if self.sink == "jsonl" and not self.path:
+            raise SpecError("telemetry sink 'jsonl' needs a 'path'")
+        if self.sink != "jsonl" and self.path is not None:
+            raise SpecError(
+                f"telemetry 'path' only applies to the 'jsonl' sink, not {self.sink!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec asks for any telemetry at all."""
+        return self.sink != "none"
+
+    def apply(self):
+        """Configure the process-wide telemetry sink as described.
+
+        Returns the configured sink (``None`` for ``"none"``), as
+        :func:`repro.obs.configure_telemetry` does.
+        """
+        from repro.obs import configure_telemetry
+
+        return configure_telemetry(self.sink, path=self.path)
+
+    def to_dict(self) -> dict:
+        return {"sink": self.sink, "path": self.path}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySpec":
+        _require_keys(data, ("sink", "path"), "telemetry")
+        return cls(sink=data.get("sink", "none"), path=data.get("path"))
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """The full declarative pipeline: blocking + features + model + output."""
 
@@ -228,6 +280,7 @@ class PipelineSpec:
     features: FeatureSpec = field(default_factory=FeatureSpec)
     model: ModelSpec = field(default_factory=ModelSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     version: int = SPEC_VERSION
 
     def __post_init__(self):
@@ -241,6 +294,7 @@ class PipelineSpec:
             ("features", FeatureSpec),
             ("model", ModelSpec),
             ("output", OutputSpec),
+            ("telemetry", TelemetrySpec),
         ):
             value = getattr(self, name)
             if not isinstance(value, expected):
@@ -251,7 +305,14 @@ class PipelineSpec:
     # -- construction ------------------------------------------------------------
 
     def build(self) -> ERPipeline:
-        """Construct the described :class:`~repro.api.pipeline.ERPipeline`."""
+        """Construct the described :class:`~repro.api.pipeline.ERPipeline`.
+
+        When the spec carries an enabled telemetry sub-spec, the
+        process-wide sink is configured here (``sink="none"``, the default,
+        leaves any existing configuration untouched).
+        """
+        if self.telemetry.enabled:
+            self.telemetry.apply()
         return ERPipeline(
             blocker=self.blocking.build(),
             config=self.model.config,
@@ -302,12 +363,15 @@ class PipelineSpec:
             "features": self.features.to_dict(),
             "model": self.model.to_dict(),
             "output": self.output.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineSpec":
         _require_keys(
-            data, ("version", "blocking", "features", "model", "output"), "pipeline"
+            data,
+            ("version", "blocking", "features", "model", "output", "telemetry"),
+            "pipeline",
         )
         if "blocking" not in data:
             raise SpecError("pipeline spec is missing the 'blocking' section")
@@ -319,6 +383,7 @@ class PipelineSpec:
             features=FeatureSpec.from_dict(data.get("features") or {}),
             model=ModelSpec.from_dict(data.get("model") or {}),
             output=OutputSpec.from_dict(data.get("output") or {}),
+            telemetry=TelemetrySpec.from_dict(data.get("telemetry") or {}),
             version=version,
         )
 

@@ -164,9 +164,21 @@ class TokenOverlapBlocker(Blocker):
         )
 
     def block(self, left: Table, right: Table | None = None) -> list[tuple]:
-        if self.engine == "sparse":
-            return self._block_sparse(left, right)
-        return self._block_per_record(left, right)
+        from repro.obs import span
+
+        with span(
+            f"blocking.{self.spec_type}",
+            engine=self.engine,
+            attribute=self.attribute,
+            n_left=len(left),
+            n_right=len(right) if right is not None else None,
+        ) as sp:
+            if self.engine == "sparse":
+                pairs = self._block_sparse(left, right)
+            else:
+                pairs = self._block_per_record(left, right)
+            sp.set(n_pairs=len(pairs))
+        return pairs
 
     def _block_sparse(self, left: Table, right: Table | None) -> list[tuple]:
         # deferred import: batch.py shares this module's token/param contract

@@ -27,6 +27,7 @@ from repro.core.covariance import (
 from repro.core.gaussian import BlockDiagonalGaussian
 from repro.core.initialization import magnitude_initialization
 from repro.core.regularization import apply_regularization, penalty_diagonal
+from repro.obs import add_counter, histogram_of, observe, set_gauge, span, telemetry_active
 from repro.utils.validation import check_feature_groups, check_feature_matrix
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "mixture_from_state",
     "frozen_scorer_state",
     "frozen_scorer_parts",
+    "match_probability_histogram",
+    "emit_fit_metrics",
 ]
 
 
@@ -122,10 +125,39 @@ class EMHistory:
     iteration_seconds: list[float] = field(default_factory=list)
     transitivity_adjustments: list[int] = field(default_factory=list)
     converged: bool = False
+    #: Per-iteration histograms of the posterior γ (drift-detection signal);
+    #: populated only on traced fits — see :mod:`repro.obs`.
+    match_probability_histograms: list[dict] = field(default_factory=list)
 
     @property
     def n_iterations(self) -> int:
         return len(self.log_likelihoods)
+
+
+def match_probability_histogram(gamma: np.ndarray) -> dict:
+    """Ten-bin histogram of a posterior vector over [0, 1] (plain dict)."""
+    return histogram_of(gamma)
+
+
+def emit_fit_metrics(name: str, history: EMHistory, gamma: np.ndarray) -> None:
+    """Export one EM fit's convergence signals into the metrics registry.
+
+    Shared by :meth:`EMRunner.run` and the record-linkage trainer's manual
+    loop, so both fit paths publish identical metric names: iteration
+    counts, final log likelihood and delta, convergence flag, and the final
+    posterior distribution.
+    """
+    add_counter("em.iterations", history.n_iterations)
+    set_gauge(f"em.converged.{name}", float(history.converged))
+    if history.log_likelihoods:
+        set_gauge(f"em.log_likelihood.{name}", history.log_likelihoods[-1])
+        if len(history.log_likelihoods) > 1:
+            set_gauge(
+                f"em.log_likelihood_delta.{name}",
+                history.log_likelihoods[-1] - history.log_likelihoods[-2],
+            )
+    if gamma.size:
+        observe("em.match_probability", gamma)
 
 
 class EMRunner:
@@ -272,23 +304,38 @@ class EMRunner:
         posteriors (§6's tail averaging).
         """
         cfg = self.config
-        tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
-        previous_ll: float | None = None
-        for iteration in range(cfg.max_iter):
-            started = time.perf_counter()
-            self.m_step()
-            ll = self.e_step()
-            if calibrator is not None and iteration >= cfg.transitivity_warmup:
-                self.history.transitivity_adjustments.append(calibrator.calibrate(self.gamma))
-            tail.append(self.gamma.copy())
-            self.history.iteration_seconds.append(time.perf_counter() - started)
-            self.history.log_likelihoods.append(ll)
-            if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
-                self.history.converged = True
-                break
-            previous_ll = ll
-        if not self.history.converged and len(tail) > 1:
-            self.gamma = np.mean(np.stack(tail), axis=0)
+        traced = telemetry_active()
+        with span(
+            "em.fit", model=self.name, n_pairs=int(self.X.shape[0]), max_iter=cfg.max_iter
+        ) as sp:
+            tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
+            previous_ll: float | None = None
+            for iteration in range(cfg.max_iter):
+                started = time.perf_counter()
+                self.m_step()
+                ll = self.e_step()
+                if calibrator is not None and iteration >= cfg.transitivity_warmup:
+                    self.history.transitivity_adjustments.append(
+                        calibrator.calibrate(self.gamma)
+                    )
+                tail.append(self.gamma.copy())
+                self.history.iteration_seconds.append(time.perf_counter() - started)
+                self.history.log_likelihoods.append(ll)
+                if traced:
+                    self.history.match_probability_histograms.append(
+                        match_probability_histogram(self.gamma)
+                    )
+                if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                    self.history.converged = True
+                    break
+                previous_ll = ll
+            if not self.history.converged and len(tail) > 1:
+                self.gamma = np.mean(np.stack(tail), axis=0)
+            sp.set(
+                n_iterations=self.history.n_iterations, converged=self.history.converged
+            )
+        if traced:
+            emit_fit_metrics(self.name, self.history, self.gamma)
         return self.history
 
     # -- inference on new data ----------------------------------------------------

@@ -18,13 +18,22 @@ calibrated posteriors before their own E-steps.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.config import ZeroERConfig
-from repro.core.em import EMHistory, EMRunner, frozen_scorer_parts, frozen_scorer_state
+from repro.core.em import (
+    EMHistory,
+    EMRunner,
+    emit_fit_metrics,
+    frozen_scorer_parts,
+    frozen_scorer_state,
+    match_probability_histogram,
+)
+from repro.obs import span, telemetry_active
 from repro.core.exceptions import InitializationError
 from repro.core.transitivity import LinkageTransitivityCalibrator
 from repro.features.normalize import (
@@ -115,35 +124,52 @@ class ZeroERLinkage:
                 if side is not None:
                     side.run()
 
-        tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
-        previous_ll: float | None = None
+        traced = telemetry_active()
         history = self._cross.history
         joint = cfg.linkage_mode == "joint"
-        for iteration in range(cfg.max_iter):
-            self._cross.m_step()
-            ll = self._cross.e_step()
-            if calibrator is not None and iteration >= cfg.transitivity_warmup:
-                adjusted = calibrator.calibrate(
-                    self._cross.gamma,
-                    self._left.gamma if self._left is not None else None,
-                    self._right.gamma if self._right is not None else None,
-                )
-                history.transitivity_adjustments.append(adjusted)
-            if joint:
-                # the paper's interleaving: within models absorb the
-                # calibrated posteriors before their own E-steps
-                for side in (self._left, self._right):
-                    if side is not None:
-                        side.m_step()
-                        side.e_step()
-            tail.append(self._cross.gamma.copy())
-            history.log_likelihoods.append(ll)
-            if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
-                history.converged = True
-                break
-            previous_ll = ll
-        if not history.converged and len(tail) > 1:
-            self._cross.gamma = np.mean(np.stack(tail), axis=0)
+        with span(
+            "em.fit",
+            model="F",
+            n_pairs=int(X_prepared.shape[0]),
+            max_iter=cfg.max_iter,
+            linkage_mode=cfg.linkage_mode,
+        ) as sp:
+            tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
+            previous_ll: float | None = None
+            for iteration in range(cfg.max_iter):
+                started = time.perf_counter()
+                self._cross.m_step()
+                ll = self._cross.e_step()
+                if calibrator is not None and iteration >= cfg.transitivity_warmup:
+                    adjusted = calibrator.calibrate(
+                        self._cross.gamma,
+                        self._left.gamma if self._left is not None else None,
+                        self._right.gamma if self._right is not None else None,
+                    )
+                    history.transitivity_adjustments.append(adjusted)
+                if joint:
+                    # the paper's interleaving: within models absorb the
+                    # calibrated posteriors before their own E-steps
+                    for side in (self._left, self._right):
+                        if side is not None:
+                            side.m_step()
+                            side.e_step()
+                tail.append(self._cross.gamma.copy())
+                history.iteration_seconds.append(time.perf_counter() - started)
+                history.log_likelihoods.append(ll)
+                if traced:
+                    history.match_probability_histograms.append(
+                        match_probability_histogram(self._cross.gamma)
+                    )
+                if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                    history.converged = True
+                    break
+                previous_ll = ll
+            if not history.converged and len(tail) > 1:
+                self._cross.gamma = np.mean(np.stack(tail), axis=0)
+            sp.set(n_iterations=history.n_iterations, converged=history.converged)
+        if traced:
+            emit_fit_metrics("F", history, self._cross.gamma)
         return self
 
     def _optional_runner(self, X, pairs, groups, name) -> EMRunner | None:

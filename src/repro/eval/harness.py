@@ -14,7 +14,6 @@ each dataset once.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +23,7 @@ from repro.core import ZeroER, ZeroERConfig, ZeroERLinkage
 from repro.data import ERDataset, load_benchmark
 from repro.eval.metrics import precision_recall_f1
 from repro.features import FeatureGenerator
+from repro.obs import span
 
 __all__ = [
     "PreparedDataset",
@@ -169,27 +169,32 @@ def prepare_dataset(
     if not with_within and full_key in _PREPARED_CACHE:
         return _PREPARED_CACHE[full_key]
 
-    started = time.perf_counter()
-    dataset = load_benchmark(name, scale=scale, seed=seed)
-    pairs = blocker_for(name).block(dataset.left, dataset.right)
-    generator = FeatureGenerator().fit(dataset.left, dataset.right, dataset.attributes)
-    X = generator.transform(dataset.left, dataset.right, pairs)
-    y = dataset.labels_for(pairs)
-    blocking = candidate_statistics(pairs, dataset.matches, len(dataset.left), len(dataset.right))
+    with span("harness.prepare", dataset=name, scale=scale, seed=seed) as sp:
+        dataset = load_benchmark(name, scale=scale, seed=seed)
+        pairs = blocker_for(name).block(dataset.left, dataset.right)
+        generator = FeatureGenerator().fit(dataset.left, dataset.right, dataset.attributes)
+        X = generator.transform(dataset.left, dataset.right, pairs)
+        y = dataset.labels_for(pairs)
+        blocking = candidate_statistics(
+            pairs, dataset.matches, len(dataset.left), len(dataset.right)
+        )
 
-    left_pairs: list[tuple] = []
-    right_pairs: list[tuple] = []
-    X_left = X_right = None
-    if with_within:
-        cap = _BLOCKING[name][3]
-        left_pairs = co_candidate_pairs(pairs, side=0, cap=cap)
-        right_pairs = co_candidate_pairs(pairs, side=1, cap=cap)
-        X_left = generator.transform(dataset.left, None, left_pairs) if left_pairs else None
-        X_right = generator.transform(dataset.right, None, right_pairs) if right_pairs else None
-        if X_left is None:
-            left_pairs = []
-        if X_right is None:
-            right_pairs = []
+        left_pairs: list[tuple] = []
+        right_pairs: list[tuple] = []
+        X_left = X_right = None
+        if with_within:
+            cap = _BLOCKING[name][3]
+            left_pairs = co_candidate_pairs(pairs, side=0, cap=cap)
+            right_pairs = co_candidate_pairs(pairs, side=1, cap=cap)
+            X_left = generator.transform(dataset.left, None, left_pairs) if left_pairs else None
+            X_right = (
+                generator.transform(dataset.right, None, right_pairs) if right_pairs else None
+            )
+            if X_left is None:
+                left_pairs = []
+            if X_right is None:
+                right_pairs = []
+        sp.set(n_pairs=len(pairs))
 
     prepared = PreparedDataset(
         dataset=dataset,
@@ -204,7 +209,7 @@ def prepare_dataset(
         X_left=X_left,
         right_pairs=right_pairs,
         X_right=X_right,
-        prepare_seconds=time.perf_counter() - started,
+        prepare_seconds=sp.seconds,
     )
     _PREPARED_CACHE[key] = prepared
     return prepared
@@ -220,23 +225,26 @@ def run_zeroer(prep: PreparedDataset, config: ZeroERConfig | None = None) -> dic
     coupled models, §5) is used; otherwise the plain single model.
     """
     config = config or ZeroERConfig()
-    started = time.perf_counter()
-    if config.transitivity:
-        model = ZeroERLinkage(config)
-        model.fit(
-            prep.X,
-            prep.pairs,
-            feature_groups=prep.feature_groups,
-            X_left=prep.X_left,
-            left_pairs=prep.left_pairs if prep.X_left is not None else None,
-            X_right=prep.X_right,
-            right_pairs=prep.right_pairs if prep.X_right is not None else None,
-        )
-    else:
-        model = ZeroER(config)
-        model.fit(prep.X, feature_groups=prep.feature_groups)
-    labels = model.labels_
-    precision, recall, f1 = precision_recall_f1(prep.y, labels)
+    with span(
+        "harness.run_zeroer", dataset=prep.name, transitivity=config.transitivity
+    ) as sp:
+        if config.transitivity:
+            model = ZeroERLinkage(config)
+            model.fit(
+                prep.X,
+                prep.pairs,
+                feature_groups=prep.feature_groups,
+                X_left=prep.X_left,
+                left_pairs=prep.left_pairs if prep.X_left is not None else None,
+                X_right=prep.X_right,
+                right_pairs=prep.right_pairs if prep.X_right is not None else None,
+            )
+        else:
+            model = ZeroER(config)
+            model.fit(prep.X, feature_groups=prep.feature_groups)
+        labels = model.labels_
+        precision, recall, f1 = precision_recall_f1(prep.y, labels)
+        sp.set(f1=f1, n_iterations=model.history_.n_iterations)
     return {
         "dataset": prep.name,
         "precision": precision,
@@ -245,7 +253,7 @@ def run_zeroer(prep: PreparedDataset, config: ZeroERConfig | None = None) -> dic
         "n_pairs": prep.n_pairs,
         "n_iterations": model.history_.n_iterations,
         "converged": model.history_.converged,
-        "seconds": time.perf_counter() - started,
+        "seconds": sp.seconds,
         "scores": model.match_scores_,
         "labels": labels,
     }

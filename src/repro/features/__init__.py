@@ -14,6 +14,7 @@ from repro.features.generator import (
     PairFeature,
     clear_feature_caches,
     configure_jw_cache,
+    jw_cache_info,
     validate_feature_engine,
 )
 from repro.features.normalize import MinMaxNormalizer, impute_nan
@@ -29,4 +30,5 @@ __all__ = [
     "impute_nan",
     "configure_jw_cache",
     "clear_feature_caches",
+    "jw_cache_info",
 ]

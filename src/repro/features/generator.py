@@ -25,12 +25,12 @@ from __future__ import annotations
 import functools
 import math
 import os
-import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.data.table import Table
+from repro.obs import add_counter, set_gauge, span, telemetry_active
 from repro.features.types import AttributeType, infer_attribute_type
 from repro.text.batch import (
     batch_jaro_winkler_indexed,
@@ -67,6 +67,7 @@ __all__ = [
     "validate_feature_engine",
     "configure_jw_cache",
     "clear_feature_caches",
+    "jw_cache_info",
 ]
 
 #: Available featurization engines: ``"batch"`` (columnar kernels, the
@@ -240,6 +241,23 @@ def clear_feature_caches() -> None:
     featurization caches cannot grow without bound.
     """
     _cached_jaro_winkler.cache_clear()
+
+
+def jw_cache_info() -> dict:
+    """Hit/miss statistics of the shared Jaro–Winkler token cache.
+
+    Returns ``{"hits", "misses", "maxsize", "currsize"}`` (the shape of
+    ``functools.lru_cache.cache_info``, as a dict). Counts accumulate until
+    :func:`clear_feature_caches` or :func:`configure_jw_cache` rebuilds the
+    cache; traced transforms export them as ``features.jw_cache.*`` gauges.
+    """
+    info = _cached_jaro_winkler.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }
 
 
 def _monge_elkan_jw(a, b) -> float:
@@ -767,14 +785,24 @@ class FeatureGenerator:
         X = np.empty((n, d), dtype=np.float64)
         if n == 0 or d == 0:
             return X
-        ctx = _BatchContext(left, right, pairs)
-        use_batch = engine == "batch"
-        for j, spec in enumerate(self.features_):
-            started = time.perf_counter() if timings is not None else 0.0
-            column = spec.batch_scores(ctx) if use_batch else None
-            if column is None:
-                column = _per_pair_scores(spec, ctx)
-            X[:, j] = column
-            if timings is not None:
-                timings[spec.name] = time.perf_counter() - started
+        traced = telemetry_active()
+        with span("features.transform", engine=engine, n_pairs=n, n_features=d):
+            ctx = _BatchContext(left, right, pairs)
+            use_batch = engine == "batch"
+            for j, spec in enumerate(self.features_):
+                with span(f"features.{spec.name}", family=spec.family) as fsp:
+                    column = spec.batch_scores(ctx) if use_batch else None
+                    if column is None:
+                        column = _per_pair_scores(spec, ctx)
+                    X[:, j] = column
+                if timings is not None:
+                    timings[spec.name] = fsp.seconds
+                if traced:
+                    set_gauge(f"features.kernel_seconds.{spec.name}", fsp.seconds)
+            if traced:
+                add_counter("features.pairs_scored", n)
+                cache = jw_cache_info()
+                set_gauge("features.jw_cache.hits", cache["hits"])
+                set_gauge("features.jw_cache.misses", cache["misses"])
+                set_gauge("features.jw_cache.currsize", cache["currsize"])
         return X

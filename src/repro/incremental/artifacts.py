@@ -89,6 +89,7 @@ def save_artifacts(
     model: ZeroER | ZeroERLinkage,
     extra: dict | None = None,
     spec: dict | None = None,
+    report: dict | None = None,
 ) -> Path:
     """Write a fitted generator + matcher to an artifact directory.
 
@@ -108,6 +109,10 @@ def save_artifacts(
         Optional declarative pipeline description (a
         ``PipelineSpec.to_dict()`` payload) stored under ``"pipeline_spec"``
         — provenance for how the frozen model was produced.
+    report:
+        Optional run report (``ERResult.report()`` /
+        ``ResolveResult.report()`` document) stored under ``"run_report"``
+        — the telemetry of the run that produced the artifact.
     """
     from repro import __version__
 
@@ -123,6 +128,8 @@ def save_artifacts(
     }
     if spec is not None:
         manifest["pipeline_spec"] = spec
+    if report is not None:
+        manifest["run_report"] = report
     with (path / _MANIFEST).open("w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
     np.savez(path / _ARRAYS, **arrays)

@@ -15,7 +15,6 @@ are already indexed when later ones probe.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,6 +31,7 @@ from repro.features.generator import (
 from repro.incremental.artifacts import load_artifacts, save_artifacts
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import EntityStore
+from repro.obs import RunTelemetry, add_counter, collect_run, span
 
 __all__ = ["IncrementalResolver", "ResolveResult"]
 
@@ -52,6 +52,9 @@ class ResolveResult:
     threshold: float
     #: Per-stage wall-clock seconds (``candidates``/``features``/``scoring``).
     seconds: dict[str, float] = field(default_factory=dict)
+    #: Spans/metrics captured while resolving this batch (a
+    #: :class:`~repro.obs.report.RunTelemetry`).
+    telemetry: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def matches(self) -> list[tuple]:
@@ -74,6 +77,15 @@ class ResolveResult:
         """Write the record → entity assignments to ``path``."""
         rows = ((row["record_id"], row["entity_id"]) for row in self.to_frame())
         return write_rows_csv(path, ("record_id", "entity_id"), rows)
+
+    def report(self) -> dict:
+        """The batch resolution as one versioned JSON run-report document."""
+        from repro.obs import build_report
+
+        telemetry = self.telemetry
+        if telemetry is None:
+            telemetry = RunTelemetry(kind="resolve.incremental", traced=False)
+        return build_report(telemetry, self.seconds)
 
 
 class IncrementalResolver:
@@ -156,39 +168,74 @@ class IncrementalResolver:
                 raise ValueError(f"record id {rid!r} appears twice in the batch")
             batch_ids.add(rid)
 
-        started = time.perf_counter()
-        pairs: list[tuple] = []
-        new_ids = []
-        for rec in records:
-            rid = rec[id_attr]
-            pairs.extend((cand, rid) for cand, _count in self.index.candidates(rec))
-            self.index.add([rec])
-            self.store.add(rec)
-            new_ids.append(rid)
-        timings["candidates"] = time.perf_counter() - started
+        with collect_run("resolve.incremental", batch_size=len(records)) as col:
+            with span("candidates", batch_size=len(records)) as sp:
+                pairs: list[tuple] = []
+                new_ids = []
+                for rec in records:
+                    rid = rec[id_attr]
+                    pairs.extend(
+                        (cand, rid) for cand, _count in self.index.candidates(rec)
+                    )
+                    self.index.add([rec])
+                    self.store.add(rec)
+                    new_ids.append(rid)
+                sp.set(n_pairs=len(pairs))
+            timings["candidates"] = sp.seconds
 
-        if pairs:
-            started = time.perf_counter()
-            X = self.generator.transform(self.store, None, pairs, engine=self.engine)
-            timings["features"] = time.perf_counter() - started
-            started = time.perf_counter()
-            scores = self.model.predict_proba(X)
-            for (a_id, b_id), score in zip(pairs, scores):
-                if score > self.threshold:
-                    self.store.merge(a_id, b_id)
-            timings["scoring"] = time.perf_counter() - started
-        else:
-            scores = np.zeros(0)
-            timings["features"] = timings["scoring"] = 0.0
+            # Empty batches and batches with no candidates still go through
+            # the spans, so reports carry real measured timings — never
+            # fabricated zeros.
+            with span("features", n_pairs=len(pairs), engine=self.engine) as sp:
+                if pairs:
+                    X = self.generator.transform(
+                        self.store, None, pairs, engine=self.engine
+                    )
+                else:
+                    X = None
+            timings["features"] = sp.seconds
 
-        return ResolveResult(
-            record_ids=new_ids,
-            pairs=pairs,
-            scores=scores,
-            assignments={rid: self.store.entity_of(rid) for rid in new_ids},
-            threshold=self.threshold,
-            seconds=timings,
-        )
+            with span("scoring", n_pairs=len(pairs)) as sp:
+                if X is not None:
+                    scores = self.model.predict_proba(X)
+                    n_matches = 0
+                    for (a_id, b_id), score in zip(pairs, scores):
+                        if score > self.threshold:
+                            self.store.merge(a_id, b_id)
+                            n_matches += 1
+                else:
+                    scores = np.zeros(0)
+                    n_matches = 0
+                sp.set(n_matches=n_matches)
+            timings["scoring"] = sp.seconds
+
+            add_counter("resolve.records", len(records))
+            add_counter("resolve.candidate_pairs", len(pairs))
+            add_counter("resolve.matches", n_matches)
+
+            result = ResolveResult(
+                record_ids=new_ids,
+                pairs=pairs,
+                scores=scores,
+                assignments={rid: self.store.entity_of(rid) for rid in new_ids},
+                threshold=self.threshold,
+                seconds=timings,
+                telemetry=RunTelemetry(
+                    kind="resolve.incremental",
+                    traced=col is not None,
+                    # shared by reference: the root span lands after exit
+                    spans=col.spans if col is not None else [],
+                    context={
+                        "batch_size": len(records),
+                        "threshold": self.threshold,
+                        "engine": self.engine,
+                        "store_size": len(self.store),
+                    },
+                ),
+            )
+        if col is not None:
+            result.telemetry.metrics = col.registry.snapshot()
+        return result
 
     def clear_caches(self) -> None:
         """Release shared featurization caches (Monge–Elkan token cache).
@@ -203,12 +250,14 @@ class IncrementalResolver:
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, report: dict | None = None) -> Path:
         """Persist the full resolver (model artifacts + store + index config).
 
         The index postings are not written: they are a pure function of the
         store's records and the index parameters, and :meth:`load` rebuilds
-        them by re-indexing the store in insertion order.
+        them by re-indexing the store in insertion order. A run report
+        (:meth:`ResolveResult.report`) can be embedded alongside the
+        pipeline spec for provenance.
         """
         extra = {
             "resolver": {
@@ -224,6 +273,7 @@ class IncrementalResolver:
             self.model,
             extra=extra,
             spec=self.spec.to_dict() if self.spec is not None else None,
+            report=report,
         )
 
     @classmethod

@@ -1,0 +1,87 @@
+"""Telemetry for the resolution engine: tracing spans, metrics, run reports.
+
+Zero new dependencies, off by default, negligible when off. The pieces:
+
+* **tracer** — :func:`span` wraps every engine stage (blocking,
+  featurization, EM, incremental resolve) in nested wall-clock spans with
+  attributes and parent links;
+* **metrics** — counters/gauges/histograms (candidate pairs, per-feature
+  kernel seconds, JW-cache hits, EM iterations and log-likelihood deltas,
+  match-probability histograms) via :func:`add_counter` / :func:`set_gauge`
+  / :func:`observe`, aggregated globally (:func:`get_metrics`) and per run;
+* **sinks** — :func:`configure_telemetry` selects where finished spans go:
+  ``"memory"``, ``"jsonl"`` (``--trace``), or ``"stderr"``;
+* **run reports** — :meth:`ERResult.report` / :meth:`ResolveResult.report`
+  assemble one versioned JSON document (validated by
+  :func:`validate_report`), embedded in frozen artifacts and printable via
+  ``python -m repro report <artifacts>``.
+
+With no sink configured, :func:`span` degrades to a bare two-call timer —
+nothing is allocated on the context, retained, or dispatched — so the
+instrumented hot paths stay at production speed (the benchmark guard in
+``benchmarks/bench_telemetry.py`` enforces this).
+"""
+
+from repro.obs.metrics import DEFAULT_EDGES, Histogram, MetricsRegistry, histogram_of
+from repro.obs.report import (
+    REPORT_VERSION,
+    ReportError,
+    RunTelemetry,
+    build_report,
+    em_history_summary,
+    span_tree,
+    validate_report,
+)
+from repro.obs.runtime import (
+    RunCollector,
+    add_counter,
+    collector_scope,
+    configure_telemetry,
+    get_metrics,
+    get_sinks,
+    observe,
+    reset_metrics,
+    set_gauge,
+    telemetry_active,
+)
+from repro.obs.sinks import SINK_NAMES, InMemorySink, JsonlSink, Sink, StderrSink, build_sink
+from repro.obs.trace import Span, collect_run, current_span, span
+
+__all__ = [
+    # tracer
+    "span",
+    "Span",
+    "current_span",
+    "collect_run",
+    # runtime / configuration
+    "configure_telemetry",
+    "telemetry_active",
+    "get_sinks",
+    "RunCollector",
+    "collector_scope",
+    # metrics
+    "add_counter",
+    "set_gauge",
+    "observe",
+    "get_metrics",
+    "reset_metrics",
+    "MetricsRegistry",
+    "Histogram",
+    "histogram_of",
+    "DEFAULT_EDGES",
+    # sinks
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "StderrSink",
+    "SINK_NAMES",
+    "build_sink",
+    # run reports
+    "REPORT_VERSION",
+    "ReportError",
+    "RunTelemetry",
+    "em_history_summary",
+    "build_report",
+    "validate_report",
+    "span_tree",
+]

@@ -1,0 +1,119 @@
+"""Counters, gauges, and histograms for the telemetry subsystem.
+
+:class:`MetricsRegistry` is a plain in-process aggregator: counters
+accumulate, gauges keep the last value, histograms bucket observations over
+fixed bin edges (defaulting to ten uniform bins over [0, 1] — the natural
+domain of match probabilities). Everything serializes to plain dicts via
+:meth:`MetricsRegistry.snapshot`, so run reports and sinks never need the
+registry objects themselves.
+
+The registry knows nothing about sinks or the active-telemetry gate; that
+wiring lives in :mod:`repro.obs.runtime`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["DEFAULT_EDGES", "Histogram", "MetricsRegistry", "histogram_of"]
+
+#: Default histogram bin edges: ten uniform bins over [0, 1].
+DEFAULT_EDGES = tuple(round(i / 10, 1) for i in range(11))
+
+
+def histogram_of(values, edges=DEFAULT_EDGES) -> dict:
+    """Bucket ``values`` (a scalar or array-like) into a plain-dict histogram.
+
+    Out-of-range observations are clamped into the first/last bin, so the
+    counts always sum to the observation count.
+    """
+    import numpy as np
+
+    arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    arr = arr[~np.isnan(arr)]
+    edges_arr = np.asarray(edges, dtype=np.float64)
+    clipped = np.clip(arr, edges_arr[0], edges_arr[-1])
+    counts, _ = np.histogram(clipped, bins=edges_arr)
+    return {
+        "edges": [float(e) for e in edges],
+        "counts": [int(c) for c in counts],
+        "count": int(arr.size),
+        "sum": float(arr.sum()) if arr.size else 0.0,
+    }
+
+
+class Histogram:
+    """One named histogram: fixed edges, accumulating counts across observes."""
+
+    __slots__ = ("edges", "counts", "count", "sum")
+
+    def __init__(self, edges=DEFAULT_EDGES):
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) - 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, values) -> None:
+        sample = histogram_of(values, self.edges)
+        for i, c in enumerate(sample["counts"]):
+            self.counts[i] += c
+        self.count += sample["count"]
+        self.sum += sample["sum"]
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name-keyed store of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- updates ---------------------------------------------------------------
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram_observe(self, name: str, values, edges=DEFAULT_EDGES) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(edges)
+        hist.observe(values)
+
+    # -- reads -----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """Everything as a JSON-serializable dict (stable shape, copied out)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {n: h.to_dict() for n, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,201 @@
+"""Versioned run reports: spans + metrics + EM history in one JSON document.
+
+A run report is the single machine-readable artifact of one resolution run,
+assembled by :meth:`ERResult.report` / :meth:`ResolveResult.report` from the
+:class:`RunTelemetry` the engine attached to the result. It is embedded in
+frozen incremental artifacts next to ``pipeline_spec`` and printable via
+``python -m repro report <artifacts>``.
+
+The schema is versioned (:data:`REPORT_VERSION`) and validated by
+:func:`validate_report` — a zero-dependency structural check used by tests,
+the CLI ``report`` subcommand, and the CI telemetry job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "REPORT_VERSION",
+    "ReportError",
+    "RunTelemetry",
+    "em_history_summary",
+    "build_report",
+    "validate_report",
+    "span_tree",
+]
+
+#: Bump when the run-report schema changes incompatibly.
+REPORT_VERSION = 1
+
+
+class ReportError(ValueError):
+    """Raised when a run-report document fails structural validation."""
+
+
+@dataclass
+class RunTelemetry:
+    """What one run captured: spans, metrics, and engine-side summaries.
+
+    Attached to :class:`~repro.api.pipeline.ERResult` /
+    :class:`~repro.incremental.resolver.ResolveResult` by the engine.
+    ``spans`` is shared by reference with the run's collector, so spans
+    finishing after attachment (the run's root span) still appear. On
+    untraced runs ``spans``/``metrics`` are empty but the cheap summaries
+    (``context``, ``candidate_statistics``, ``em``) are still populated.
+    """
+
+    kind: str
+    traced: bool
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    context: dict = field(default_factory=dict)
+    candidate_statistics: dict | None = None
+    em: dict | None = None
+
+
+def em_history_summary(history) -> dict:
+    """JSON summary of an :class:`~repro.core.em.EMHistory`-shaped object."""
+    return {
+        "n_iterations": int(history.n_iterations),
+        "converged": bool(history.converged),
+        "log_likelihoods": [float(v) for v in history.log_likelihoods],
+        "iteration_seconds": [float(v) for v in history.iteration_seconds],
+        "transitivity_adjustments": [int(v) for v in history.transitivity_adjustments],
+        "match_probability_histograms": list(
+            getattr(history, "match_probability_histograms", [])
+        ),
+    }
+
+
+_EMPTY_METRICS = {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def build_report(telemetry: RunTelemetry, seconds: dict | None = None) -> dict:
+    """Assemble the versioned run-report document from a run's telemetry."""
+    from repro import __version__
+
+    metrics = telemetry.metrics if telemetry.metrics else _EMPTY_METRICS
+    spans = sorted(
+        telemetry.spans, key=lambda s: (s.get("start_time", 0.0), s.get("span_id", 0))
+    )
+    return {
+        "report_version": REPORT_VERSION,
+        "repro_version": __version__,
+        "kind": telemetry.kind,
+        "traced": bool(telemetry.traced),
+        "context": dict(telemetry.context),
+        "timings": {k: float(v) for k, v in (seconds or {}).items()},
+        "candidate_statistics": telemetry.candidate_statistics,
+        "em": telemetry.em,
+        "metrics": {
+            "counters": dict(metrics.get("counters", {})),
+            "gauges": dict(metrics.get("gauges", {})),
+            "histograms": dict(metrics.get("histograms", {})),
+        },
+        "spans": spans,
+    }
+
+
+_REQUIRED_KEYS = (
+    "report_version",
+    "repro_version",
+    "kind",
+    "traced",
+    "context",
+    "timings",
+    "candidate_statistics",
+    "em",
+    "metrics",
+    "spans",
+)
+
+_SPAN_KEYS = ("name", "span_id", "seconds")
+
+
+def validate_report(doc) -> dict:
+    """Structurally validate a run-report document; returns it on success.
+
+    Raises :class:`ReportError` listing every problem found. Validation is
+    schema-shaped but dependency-free, so the CLI and CI can run it without
+    a JSON-schema library.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise ReportError(f"report must be a dict, got {type(doc).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    if doc.get("report_version") != REPORT_VERSION:
+        problems.append(
+            f"report_version {doc.get('report_version')!r} is not supported "
+            f"(this build reads version {REPORT_VERSION})"
+        )
+    for key, expected in (
+        ("kind", str),
+        ("repro_version", str),
+        ("traced", bool),
+        ("context", dict),
+        ("timings", dict),
+        ("metrics", dict),
+        ("spans", list),
+    ):
+        if key in doc and not isinstance(doc[key], expected):
+            problems.append(f"{key} must be a {expected.__name__}")
+    for key in ("candidate_statistics", "em"):
+        if key in doc and doc[key] is not None and not isinstance(doc[key], dict):
+            problems.append(f"{key} must be a dict or null")
+    timings = doc.get("timings")
+    if isinstance(timings, dict):
+        for stage, value in timings.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"timings[{stage!r}] must be a number")
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                problems.append(f"metrics.{section} must be a dict")
+    spans = doc.get("spans")
+    if isinstance(spans, list):
+        for i, record in enumerate(spans):
+            if not isinstance(record, dict):
+                problems.append(f"spans[{i}] must be a dict")
+                continue
+            for key in _SPAN_KEYS:
+                if key not in record:
+                    problems.append(f"spans[{i}] is missing {key!r}")
+    if problems:
+        raise ReportError("invalid run report: " + "; ".join(problems))
+    return doc
+
+
+def span_tree(spans: list[dict]) -> list[dict]:
+    """Nest flat span records into trees via their parent links.
+
+    Returns the root spans, each as ``{"name", "seconds", "attributes",
+    "children"}`` with children ordered by start time. Spans whose parent
+    is not in ``spans`` become roots themselves (a collector only sees the
+    spans of its own run).
+    """
+    nodes = {
+        record["span_id"]: {
+            "name": record["name"],
+            "seconds": record["seconds"],
+            "attributes": record.get("attributes", {}),
+            "children": [],
+            "_start": record.get("start_time", 0.0),
+        }
+        for record in spans
+    }
+    roots = []
+    for record in spans:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        (parent["children"] if parent is not None else roots).append(node)
+    ordered = sorted(roots, key=lambda n: n["_start"])
+    stack = list(nodes.values())
+    for node in stack:
+        node["children"].sort(key=lambda n: n["_start"])
+    for node in nodes.values():
+        del node["_start"]
+    return ordered

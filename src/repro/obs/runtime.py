@@ -1,0 +1,180 @@
+"""Global telemetry state: configured sinks, registries, and run collectors.
+
+The central design point is the *no-op fast path*: telemetry is "active"
+exactly when at least one sink is configured. When inactive,
+:func:`repro.obs.trace.span` yields a bare timer (no contextvars, no
+retention, no dispatch) and every metric emit helper returns immediately —
+instrumented code pays two ``perf_counter`` calls and a predicate, nothing
+more. ``configure_telemetry("memory")`` flips the whole subsystem on.
+
+Run collectors scope span/metric capture to one logical run (a session or
+an incremental batch): while a :class:`RunCollector` is on the context
+stack, every finished span and metric update is mirrored into it, which is
+what :meth:`ERResult.report` / :meth:`ResolveResult.report` later assemble.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs.metrics import DEFAULT_EDGES, MetricsRegistry
+from repro.obs.sinks import Sink, build_sink
+
+__all__ = [
+    "configure_telemetry",
+    "telemetry_active",
+    "get_sinks",
+    "get_metrics",
+    "reset_metrics",
+    "RunCollector",
+    "collector_scope",
+    "add_counter",
+    "set_gauge",
+    "observe",
+    "dispatch_span",
+]
+
+#: Process-global metrics registry (aggregates across runs while active).
+_GLOBAL_METRICS = MetricsRegistry()
+
+#: Currently configured sinks; empty tuple == telemetry off.
+_SINKS: tuple[Sink, ...] = ()
+
+#: Run collectors active in the current context (innermost last).
+_COLLECTORS: ContextVar[tuple] = ContextVar("repro_obs_collectors", default=())
+
+
+def telemetry_active() -> bool:
+    """True when at least one sink is configured (the tracing gate)."""
+    return bool(_SINKS)
+
+
+def get_sinks() -> tuple[Sink, ...]:
+    return _SINKS
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry (populated only while active)."""
+    return _GLOBAL_METRICS
+
+
+def reset_metrics() -> None:
+    """Clear the global metrics registry (test isolation, service restarts)."""
+    _GLOBAL_METRICS.reset()
+
+
+def configure_telemetry(sink=None, *, path=None):
+    """Install the global telemetry sink(s); returns what was installed.
+
+    ``sink`` may be ``None``/``"none"`` (disable telemetry), a built-in name
+    (``"memory"``, ``"stderr"``, ``"jsonl"`` — the latter requires
+    ``path``), a :class:`~repro.obs.sinks.Sink` instance, or a sequence of
+    any of these. Previously configured sinks are closed. Returns the
+    single installed sink, a tuple when several were given, or ``None``
+    when telemetry was disabled.
+    """
+    global _SINKS
+    if sink is None or sink == "none":
+        requested: list = []
+    elif isinstance(sink, (str, Sink)):
+        requested = [sink]
+    else:
+        requested = list(sink)
+    built = []
+    for item in requested:
+        if isinstance(item, Sink):
+            built.append(item)
+        else:
+            instance = build_sink(item, path=path)
+            if instance is not None:
+                built.append(instance)
+    previous, _SINKS = _SINKS, tuple(built)
+    for old in previous:
+        if old not in built:
+            old.close()
+    if not built:
+        return None
+    return built[0] if len(built) == 1 else tuple(built)
+
+
+# -- run collectors ----------------------------------------------------------------
+
+
+class RunCollector:
+    """Captures the spans and metrics of one logical run.
+
+    ``spans`` holds finished-span records in completion order; ``registry``
+    mirrors every metric update emitted while the collector is in scope.
+    The spans list is shared by reference with the run's
+    :class:`~repro.obs.report.RunTelemetry`, so spans that finish after the
+    telemetry object was attached (e.g. the run's root span) still appear.
+    """
+
+    def __init__(self, kind: str, **attributes):
+        self.kind = kind
+        self.attributes = attributes
+        self.spans: list[dict] = []
+        self.registry = MetricsRegistry()
+
+
+@contextmanager
+def collector_scope(collector: RunCollector | None):
+    """Put ``collector`` on the capture stack for the duration of the block.
+
+    ``None`` (or a collector that is already active — nested stage calls
+    within one session) makes this a no-op, so re-entrant stage chains
+    cannot double-capture their spans.
+    """
+    active = _COLLECTORS.get()
+    if collector is None or collector in active:
+        yield collector
+        return
+    token = _COLLECTORS.set(active + (collector,))
+    try:
+        yield collector
+    finally:
+        _COLLECTORS.reset(token)
+
+
+# -- emit helpers (gated on the active flag) ---------------------------------------
+
+
+def add_counter(name: str, value: float = 1) -> None:
+    """Increment a counter in the global registry and every active collector."""
+    if not _SINKS:
+        return
+    _GLOBAL_METRICS.counter_add(name, value)
+    for col in _COLLECTORS.get():
+        col.registry.counter_add(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge in the global registry and every active collector."""
+    if not _SINKS:
+        return
+    _GLOBAL_METRICS.gauge_set(name, value)
+    for col in _COLLECTORS.get():
+        col.registry.gauge_set(name, value)
+
+
+def observe(name: str, values, edges=DEFAULT_EDGES) -> None:
+    """Feed observations into a named histogram (global + active collectors)."""
+    if not _SINKS:
+        return
+    _GLOBAL_METRICS.histogram_observe(name, values, edges)
+    for col in _COLLECTORS.get():
+        col.registry.histogram_observe(name, values, edges)
+
+
+def dispatch_span(record: dict) -> None:
+    """Deliver one finished-span record to every sink and active collector."""
+    for sink in _SINKS:
+        sink.emit_span(record)
+    for col in _COLLECTORS.get():
+        col.spans.append(record)
+
+
+def _collectors() -> tuple:
+    """The active collector stack (internal, used by :mod:`repro.obs.trace`)."""
+    return _COLLECTORS.get()

@@ -1,0 +1,95 @@
+"""Pluggable span sinks: where finished spans go when telemetry is on.
+
+A sink receives one plain-dict span record per finished span (see
+:meth:`repro.obs.trace.Span.to_dict`). Three built-ins cover the common
+cases: :class:`InMemorySink` for tests and programmatic inspection,
+:class:`JsonlSink` for durable traces (one JSON object per line), and
+:class:`StderrSink` for a human-readable live view. Select one via
+:func:`repro.obs.configure_telemetry` (or the ``telemetry`` sub-spec on a
+:class:`~repro.api.spec.PipelineSpec`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "StderrSink", "build_sink"]
+
+
+class Sink:
+    """Base span sink; subclasses override :meth:`emit_span` (and :meth:`close`)."""
+
+    def emit_span(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (file handles); called when the sink is replaced."""
+
+
+class InMemorySink(Sink):
+    """Retains every span record on ``.spans`` — the test/inspection sink."""
+
+    def __init__(self):
+        self.spans: list[dict] = []
+
+    def emit_span(self, record: dict) -> None:
+        self.spans.append(record)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def by_name(self, name: str) -> list[dict]:
+        return [s for s in self.spans if s["name"] == name]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per span to a file (the ``--trace`` sink)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def emit_span(self, record: dict) -> None:
+        self._handle.write(json.dumps({"type": "span", **record}, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class StderrSink(Sink):
+    """Pretty-prints finished spans to stderr, indented by nesting depth."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+
+    def emit_span(self, record: dict) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        attrs = record.get("attributes") or {}
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items() if v is not None)
+        indent = "  " * record.get("depth", 0)
+        line = f"[trace] {indent}{record['name']} {record['seconds'] * 1000:.2f}ms"
+        print(f"{line} {detail}".rstrip(), file=stream)
+
+
+#: Sink names accepted by :func:`repro.obs.configure_telemetry` and the
+#: ``telemetry`` spec. ``"none"`` disables telemetry.
+SINK_NAMES = ("none", "memory", "jsonl", "stderr")
+
+
+def build_sink(kind: str, path: str | Path | None = None) -> Sink | None:
+    """Construct a built-in sink by name; ``"none"`` returns ``None``."""
+    if kind == "none":
+        return None
+    if kind == "memory":
+        return InMemorySink()
+    if kind == "stderr":
+        return StderrSink()
+    if kind == "jsonl":
+        if path is None:
+            raise ValueError("the jsonl sink requires a path")
+        return JsonlSink(path)
+    raise ValueError(f"unknown sink {kind!r}; expected one of {SINK_NAMES}")

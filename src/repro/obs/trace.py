@@ -1,0 +1,147 @@
+"""The contextvar-based tracer: nested wall-clock spans with parent links.
+
+:func:`span` is the single instrumentation primitive used across the
+engine — blocking, featurization, EM, and incremental resolution all wrap
+their stages in it. It has two modes:
+
+* **inactive** (no sink configured): yields a :class:`_TimerSpan` — two
+  ``perf_counter`` calls and nothing else. No ids, no contextvar writes, no
+  retention; the measured ``seconds`` still feed the legacy per-stage
+  timing dicts, so timings are always real, never fabricated.
+* **active**: yields a full :class:`Span` with a process-unique id, a
+  parent link taken from the current context, and attributes; on exit the
+  finished record is dispatched to every configured sink and every active
+  run collector.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs import runtime
+
+__all__ = ["Span", "span", "current_span", "collect_run"]
+
+_IDS = itertools.count(1)
+
+#: The innermost active span (active mode only).
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+
+
+class _TimerSpan:
+    """Inactive-mode stand-in: measures duration, retains and emits nothing."""
+
+    __slots__ = ("started", "ended")
+
+    def __init__(self):
+        self.started = 0.0
+        self.ended = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attribute writes are dropped — there is no record to put them on."""
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.started
+
+
+class Span:
+    """One finished or in-flight traced operation."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "depth",
+        "attributes",
+        "start_time",
+        "started",
+        "ended",
+    )
+
+    def __init__(self, name: str, parent: "Span | None", attributes: dict):
+        self.name = name
+        self.span_id = next(_IDS)
+        self.parent_id = parent.span_id if parent is not None else None
+        self.trace_id = parent.trace_id if parent is not None else self.span_id
+        self.depth = parent.depth + 1 if parent is not None else 0
+        self.attributes = attributes
+        self.start_time = time.time()
+        self.started = time.perf_counter()
+        self.ended = self.started
+
+    def set(self, **attributes) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.started
+
+    def to_dict(self) -> dict:
+        """The finished span as a JSON-serializable record."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "depth": self.depth,
+            "start_time": self.start_time,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """Trace a block of work as a named span.
+
+    Yields an object with ``.seconds`` (after exit) and ``.set(**attrs)``;
+    with no sink configured this is a bare timer (the no-op fast path),
+    otherwise a full :class:`Span` that is linked to its parent and
+    dispatched on exit.
+    """
+    if not runtime.telemetry_active():
+        timer = _TimerSpan()
+        timer.started = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.ended = time.perf_counter()
+        return
+    parent = _CURRENT.get()
+    current = Span(name, parent, attributes)
+    token = _CURRENT.set(current)
+    try:
+        yield current
+    finally:
+        _CURRENT.reset(token)
+        current.ended = time.perf_counter()
+        runtime.dispatch_span(current.to_dict())
+
+
+def current_span() -> Span | None:
+    """The innermost active span, or ``None`` (always ``None`` when inactive)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def collect_run(kind: str, **attributes):
+    """Capture one logical run: a root span plus a fresh collector.
+
+    Yields the :class:`~repro.obs.runtime.RunCollector` (or ``None`` on the
+    no-op path). Spans and metrics emitted inside the block land in the
+    collector; the root span itself joins ``collector.spans`` on exit, so
+    telemetry objects holding the spans list by reference see it too.
+    """
+    if not runtime.telemetry_active():
+        yield None
+        return
+    collector = runtime.RunCollector(kind, **attributes)
+    with runtime.collector_scope(collector):
+        with span(kind, **attributes):
+            yield collector
