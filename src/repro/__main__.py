@@ -20,6 +20,14 @@ Four subcommands cover the batch, incremental, and declarative workflows:
 
         python -m repro fit --left base.csv --block-on name --artifacts art/
 
+    Long fits can checkpoint EM state (``--checkpoint-every N``), run under
+    a wall-clock budget (``--time-budget SECONDS``), and pick up where an
+    interrupted run stopped (``--resume``)::
+
+        python -m repro fit --left big.csv --block-on name --artifacts art/ \
+            --checkpoint-every 5 --time-budget 300
+        python -m repro fit --left big.csv --block-on name --artifacts art/ --resume
+
 ``resolve``
     Stream a batch of new records against saved artifacts — no re-fit, the
     store and artifacts are updated in place::
@@ -50,6 +58,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -65,6 +74,7 @@ from repro.api import (
 from repro.blocking import BLOCKING_ENGINES, TokenOverlapBlocker, candidate_statistics
 from repro.core.config import ZeroERConfig
 from repro.data.io import read_csv
+from repro.reliability import CheckpointError, CheckpointStore, FitControls
 
 __all__ = ["main"]
 
@@ -73,6 +83,17 @@ _SUBCOMMANDS = ("run", "fit", "resolve", "spec", "report")
 
 class _CliError(Exception):
     """Fatal CLI error: ``main`` prints it as ``error: ...`` and exits 2."""
+
+
+def _fail(message) -> int:
+    """The one CLI failure path: print ``error: ...`` to stderr, return 2.
+
+    Every subcommand funnels fatal conditions through here (directly or by
+    raising :class:`_CliError`), so failures are uniformly greppable and the
+    exit status is always 2 — never a raw traceback.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
@@ -167,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--artifacts", required=True, help="directory to write the frozen artifacts to"
     )
+    fit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint EM state every N iterations under <artifacts>/checkpoints/ "
+        "(default: 0, disabled)",
+    )
+    fit.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume EM from the latest checkpoint under <artifacts>/checkpoints/",
+    )
+    fit.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for EM; on expiry the best-so-far parameters are "
+        "kept (converged=False) and a checkpoint is written for --resume",
+    )
     fit.set_defaults(func=_cmd_fit)
 
     resolve = sub.add_parser(
@@ -220,14 +262,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_tables(args):
-    left = read_csv(Path(args.left), id_attr=args.id_column)
-    right = read_csv(Path(args.right), id_attr=args.id_column) if args.right else None
+    try:
+        left = read_csv(Path(args.left), id_attr=args.id_column)
+        right = read_csv(Path(args.right), id_attr=args.id_column) if args.right else None
+    except (OSError, ValueError) as exc:
+        # unreadable file, malformed CSV, or a missing id column
+        return None, None, _fail(exc)
     if args.block_on and args.block_on not in left.attributes:
-        print(
-            f"error: --block-on attribute {args.block_on!r} not in the left table",
-            file=sys.stderr,
+        return (
+            None,
+            None,
+            _fail(f"--block-on attribute {args.block_on!r} not in the left table"),
         )
-        return None, None, 2
     return left, right, 0
 
 
@@ -247,11 +293,7 @@ def _check_blocking_attributes(pipeline, left) -> int:
         {a for a in _blocker_attributes(pipeline.blocker) if a not in left.attributes}
     )
     if missing:
-        print(
-            f"error: spec blocking attribute(s) {missing} not in the left table",
-            file=sys.stderr,
-        )
-        return 2
+        return _fail(f"spec blocking attribute(s) {missing} not in the left table")
     return 0
 
 
@@ -265,13 +307,11 @@ def _build_pipeline(args):
     one_to_one = bool(getattr(args, "one_to_one", False))
     if args.spec:
         if args.block_on:
-            print("error: pass either --spec or --block-on, not both", file=sys.stderr)
-            return None, 0.0, False, 2
+            return None, 0.0, False, _fail("pass either --spec or --block-on, not both")
         try:
             spec = load_spec(args.spec)
         except (SpecError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return None, 0.0, False, 2
+            return None, 0.0, False, _fail(exc)
         config = spec.model.config
         if args.kappa is not None:
             config = config.replace(kappa=args.kappa)
@@ -287,15 +327,18 @@ def _build_pipeline(args):
                 feature_engine=spec.features.engine,
                 type_overrides=spec.features.build_overrides(),
                 blocking_engine=args.blocking_engine,
+                fit_controls=(
+                    FitControls(time_budget_s=float(spec.model.time_budget_s))
+                    if spec.model.time_budget_s is not None
+                    else None
+                ),
             )
         except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return None, 0.0, False, 2
+            return None, 0.0, False, _fail(exc)
         return pipeline, threshold, one_to_one, 0
 
     if not args.block_on:
-        print("error: provide --block-on (or a --spec file)", file=sys.stderr)
-        return None, 0.0, False, 2
+        return None, 0.0, False, _fail("provide --block-on (or a --spec file)")
     config = ZeroERConfig(
         kappa=args.kappa if args.kappa is not None else 0.15,
         transitivity=not args.no_transitivity,
@@ -340,7 +383,10 @@ def _cmd_run(args) -> int:
 
     use_one_to_one = one_to_one and right is not None
     rows = result.to_frame(threshold=threshold, one_to_one=use_one_to_one)
-    out_path = result.to_csv(Path(args.output), frame=rows)
+    try:
+        out_path = result.to_csv(Path(args.output), frame=rows)
+    except OSError as exc:
+        return _fail(f"cannot write {args.output}: {exc}")
     if args.report:
         try:
             Path(args.report).write_text(
@@ -348,8 +394,7 @@ def _cmd_run(args) -> int:
                 encoding="utf-8",
             )
         except OSError as exc:
-            print(f"error: cannot write {args.report}: {exc}", file=sys.stderr)
-            return 2
+            return _fail(f"cannot write {args.report}: {exc}")
         print(f"run report written to {args.report}")
     print(_blocking_report(result.pairs, left, right))
     print(
@@ -358,10 +403,41 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _fit_controls(args):
+    """``(controls, store, exit_code)`` from the fit reliability flags.
+
+    Checkpoints live under ``<artifacts>/checkpoints/``; a non-zero
+    ``--checkpoint-every``, ``--resume``, or ``--time-budget`` activates a
+    :class:`~repro.reliability.FitControls`.
+    """
+    if args.checkpoint_every < 0:
+        return None, None, _fail("--checkpoint-every must be >= 0")
+    wants_store = args.resume or args.checkpoint_every > 0 or args.time_budget is not None
+    if not wants_store:
+        return None, None, 0
+    store = CheckpointStore(Path(args.artifacts) / "checkpoints")
+    try:
+        controls = FitControls(
+            checkpoint=store,
+            checkpoint_every=args.checkpoint_every if args.checkpoint_every > 0 else 10,
+            resume=args.resume,
+            time_budget_s=args.time_budget,
+        )
+    except ValueError as exc:
+        return None, None, _fail(exc)
+    return controls, store, 0
+
+
 def _cmd_fit(args) -> int:
     pipeline, threshold, _one_to_one, code = _build_pipeline(args)
     if code:
         return code
+    controls, ckpt_store, code = _fit_controls(args)
+    if code:
+        return code
+    if controls is not None:
+        # flags win over any spec-provided time budget
+        pipeline.fit_controls = controls
     left, right, code = _load_tables(args)
     if code:
         return code
@@ -373,22 +449,36 @@ def _cmd_fit(args) -> int:
         # fail before the (expensive) fit: freeze() needs disjoint ids
         shared = set(left.ids()) & set(right.ids())
         if shared:
-            print(
-                f"error: {len(shared)} record ids appear in both tables; "
-                "fit needs disjoint ids (prefix each side, e.g. L0.../R0...)",
-                file=sys.stderr,
+            return _fail(
+                f"{len(shared)} record ids appear in both tables; "
+                "fit needs disjoint ids (prefix each side, e.g. L0.../R0...)"
             )
-            return 2
-    with _maybe_trace(args):
-        result = pipeline.run(left, right)
+    try:
+        with _maybe_trace(args):
+            result = pipeline.run(left, right)
+    except CheckpointError as exc:
+        return _fail(exc)
     try:
         resolver = pipeline.freeze(threshold=threshold)
     except (ValueError, RuntimeError) as exc:
         # e.g. overlapping record ids across the two tables, or a blocking
         # recipe that produced no candidate pairs to fit on
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    path = resolver.save(args.artifacts, report=result.report())
+        return _fail(exc)
+    try:
+        path = resolver.save(args.artifacts, report=result.report())
+    except OSError as exc:
+        return _fail(f"cannot write artifacts to {args.artifacts}: {exc}")
+    history = getattr(getattr(pipeline, "model_", None), "history_", None)
+    converged = bool(getattr(history, "converged", True))
+    if ckpt_store is not None:
+        if converged:
+            # a finished fit invalidates its intermediate EM state
+            ckpt_store.clear()
+        else:
+            print(
+                f"fit interrupted before convergence; resume with: "
+                f"python -m repro fit ... --artifacts {args.artifacts} --resume"
+            )
     print(
         f"fitted on {len(resolver.store)} records "
         f"({resolver.store.n_entities} entities, "
@@ -409,8 +499,7 @@ def _cmd_resolve(args) -> int:
     except (ArtifactError, OSError, ValueError) as exc:
         # e.g. missing/corrupt artifacts, unreadable CSV, or a record id
         # that is already in the store (a batch streamed twice)
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(exc)
 
     # Write the assignments before persisting the store: if the output path
     # is bad, the on-disk artifacts are untouched and the batch is retryable.
@@ -418,10 +507,12 @@ def _cmd_resolve(args) -> int:
         try:
             result.to_csv(Path(args.output))
         except OSError as exc:
-            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
-            return 2
+            return _fail(f"cannot write {args.output}: {exc}")
     # persist the updated store in place, with this batch's telemetry
-    resolver.save(args.artifacts, report=result.report())
+    try:
+        resolver.save(args.artifacts, report=result.report())
+    except OSError as exc:
+        return _fail(f"cannot write artifacts to {args.artifacts}: {exc}")
     print(
         f"{len(result.record_ids)} records resolved against {len(result.pairs)} "
         f"candidate pairs, {len(result.matches)} matches; "
@@ -432,40 +523,37 @@ def _cmd_resolve(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from repro.incremental.artifacts import ArtifactError, artifact_dir
     from repro.obs import ReportError, validate_report
 
-    manifest_path = Path(args.artifacts) / "manifest.json"
+    try:
+        manifest_path = artifact_dir(Path(args.artifacts)) / "manifest.json"
+    except ArtifactError as exc:
+        return _fail(exc)
     if not manifest_path.is_file():
-        print(
-            f"error: {args.artifacts} is not an artifact directory (no manifest.json)",
-            file=sys.stderr,
+        return _fail(
+            f"{args.artifacts} is not an artifact directory (no manifest.json)"
         )
-        return 2
     try:
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: cannot read {manifest_path}: {exc}", file=sys.stderr)
-        return 2
+        return _fail(f"cannot read {manifest_path}: {exc}")
     report = manifest.get("run_report")
     if report is None:
-        print(
-            f"error: {args.artifacts} carries no run report "
-            "(written by fit/resolve builds that embed telemetry)",
-            file=sys.stderr,
+        return _fail(
+            f"{args.artifacts} carries no run report "
+            "(written by fit/resolve builds that embed telemetry)"
         )
-        return 2
     try:
         validate_report(report)
     except ReportError as exc:
-        print(f"error: embedded run report is invalid: {exc}", file=sys.stderr)
-        return 2
+        return _fail(f"embedded run report is invalid: {exc}")
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         try:
             Path(args.output).write_text(text + "\n", encoding="utf-8")
         except OSError as exc:
-            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
-            return 2
+            return _fail(f"cannot write {args.output}: {exc}")
         print(f"run report written to {args.output}")
     else:
         print(text)
@@ -487,10 +575,12 @@ def _cmd_spec_init(args) -> int:
             output=OutputSpec(threshold=args.threshold),
         )
     except (SpecError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(exc)
     if args.output:
-        path = spec.save(args.output)
+        try:
+            path = spec.save(args.output)
+        except OSError as exc:
+            return _fail(f"cannot write {args.output}: {exc}")
         print(f"spec written to {path}")
     else:
         print(spec.to_json())
@@ -507,8 +597,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except _CliError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(exc)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. ``repro report ... | head``).
+        # Redirect stdout at the fd level so interpreter shutdown does not
+        # trip over the dead pipe, then exit quietly like other Unix tools.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,20 +49,27 @@ class ERResult:
     #: :class:`~repro.obs.report.RunTelemetry`); ``None`` only for results
     #: constructed outside the session layer.
     telemetry: object | None = field(default=None, repr=False, compare=False)
+    #: Degradations recorded while matching (a
+    #: :class:`~repro.reliability.health.HealthReport`); ``None`` only for
+    #: results constructed outside the session layer.
+    health: object | None = field(default=None, repr=False, compare=False)
 
     def report(self) -> dict:
         """The run as one versioned JSON document (see :mod:`repro.obs.report`).
 
-        Assembles the captured spans, metrics, candidate statistics, and EM
-        history into a :func:`repro.obs.validate_report`-clean dict. Works
-        on untraced runs too — the document then has empty spans/metrics
-        but real timings and EM summaries.
+        Assembles the captured spans, metrics, candidate statistics, EM
+        history, and health flags into a
+        :func:`repro.obs.validate_report`-clean dict. Works on untraced runs
+        too — the document then has empty spans/metrics but real timings and
+        EM summaries.
         """
         from repro.obs import RunTelemetry, build_report
 
         telemetry = self.telemetry
         if telemetry is None:
             telemetry = RunTelemetry(kind="resolve", traced=False)
+        if telemetry.health is None and self.health is not None and len(self.health):
+            telemetry.health = self.health.to_dict()
         return build_report(telemetry, self.seconds)
 
     @property
@@ -148,6 +155,11 @@ class ERPipeline:
         Optional ``{attribute: AttributeType}`` forwarded to the
         :class:`~repro.features.generator.FeatureGenerator`, pinning types
         that inference would get wrong.
+    fit_controls:
+        Optional :class:`~repro.reliability.checkpoint.FitControls` applied
+        to every EM fit this pipeline runs: crash-safe checkpoints, resume,
+        and a wall-clock budget (best-so-far parameters with
+        ``converged=False`` instead of hanging).
     """
 
     def __init__(
@@ -159,6 +171,7 @@ class ERPipeline:
         feature_engine: str = "batch",
         blocking_engine: str | None = None,
         type_overrides: dict | None = None,
+        fit_controls=None,
     ):
         if blocker is None:
             if blocking_attribute is None:
@@ -187,6 +200,7 @@ class ERPipeline:
         self.co_candidate_cap = int(co_candidate_cap)
         self.feature_engine = feature_engine
         self.type_overrides = dict(type_overrides) if type_overrides else None
+        self.fit_controls = fit_controls
         self.generator_: FeatureGenerator | None = None
         self.model_: ZeroER | ZeroERLinkage | None = None
         self.left_: Table | None = None
@@ -299,7 +313,15 @@ class ERPipeline:
                     engine=engine,
                     type_overrides={a: t.value for a, t in overrides.items()},
                 ),
-                model=ModelSpec(config=config, co_candidate_cap=self.co_candidate_cap),
+                model=ModelSpec(
+                    config=config,
+                    co_candidate_cap=self.co_candidate_cap,
+                    time_budget_s=(
+                        self.fit_controls.time_budget_s
+                        if self.fit_controls is not None
+                        else None
+                    ),
+                ),
                 output=OutputSpec(threshold=threshold),
             )
         except (SpecError, TypeError):
@@ -334,5 +356,6 @@ class ERPipeline:
             left_pairs=left_pairs if X_left is not None else None,
             X_right=X_right,
             right_pairs=right_pairs if X_right is not None else None,
+            controls=self.fit_controls,
         )
         return model

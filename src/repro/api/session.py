@@ -43,6 +43,12 @@ from repro.obs import (
     span,
     telemetry_active,
 )
+from repro.reliability.health import (
+    EMPTY_CANDIDATE_SET,
+    HealthReport,
+    health_scope,
+    record_condition,
+)
 
 __all__ = ["ResolutionSession", "CandidateSet", "FeatureMatrix", "MatchSet"]
 
@@ -298,11 +304,23 @@ class ResolutionSession:
         if config_overrides:
             effective = effective.replace(**config_overrides)
 
+        health = HealthReport()
         candidates = self.block()
         timings: dict[str, float] = {"blocking": candidates.seconds}
         if not candidates.pairs:
+            with health_scope(health):
+                record_condition(
+                    EMPTY_CANDIDATE_SET,
+                    "blocking produced no candidate pairs; the result is empty "
+                    "and no model was fitted",
+                    n_left=len(self.left),
+                    n_right=len(self.right) if self.right is not None else None,
+                )
             result = ERResult([], np.zeros(0), np.zeros(0, dtype=np.int64), [], timings)
-            result.telemetry = self._run_telemetry(candidates, None, None, effective)
+            result.health = health
+            result.telemetry = self._run_telemetry(
+                candidates, None, None, effective, health
+            )
             self.matches_ = MatchSet(
                 result=result, model=None, generator=None, config=effective, session=self
             )
@@ -312,7 +330,7 @@ class ResolutionSession:
         features = self.featurize()
         timings["features"] = features.seconds
 
-        with self._collector_scope():
+        with self._collector_scope(), health_scope(health):
             with span(
                 "matching",
                 n_pairs=len(candidates.pairs),
@@ -334,6 +352,7 @@ class ResolutionSession:
                         features.X,
                         features.feature_groups,
                         candidates.pairs if self.right is None else None,
+                        controls=self.pipeline.fit_controls,
                     )
                 labels = (model.match_scores_ > 0.5).astype(np.int64)
             add_counter("matching.pairs_scored", len(candidates.pairs))
@@ -347,7 +366,8 @@ class ResolutionSession:
             feature_names=features.feature_names,
             seconds=timings,
         )
-        result.telemetry = self._run_telemetry(candidates, features, model, effective)
+        result.health = health
+        result.telemetry = self._run_telemetry(candidates, features, model, effective, health)
         self.matches_ = MatchSet(
             result=result,
             model=model,
@@ -386,7 +406,9 @@ class ResolutionSession:
             result.telemetry.metrics = self._collector.registry.snapshot()
         return result
 
-    def _run_telemetry(self, candidates, features, model, config) -> RunTelemetry:
+    def _run_telemetry(
+        self, candidates, features, model, config, health: HealthReport | None = None
+    ) -> RunTelemetry:
         """Assemble the telemetry attached to this session's result.
 
         Always populated — even untraced runs carry the cheap summaries
@@ -411,6 +433,7 @@ class ResolutionSession:
             "transitivity": bool(config.transitivity),
         }
         em = em_history_summary(model.history_) if model is not None else None
+        health_doc = health.to_dict() if health is not None and len(health) else None
         collector = self._collector
         if collector is not None:
             return RunTelemetry(
@@ -421,6 +444,7 @@ class ResolutionSession:
                 context=context,
                 candidate_statistics=stats,
                 em=em,
+                health=health_doc,
             )
         return RunTelemetry(
             kind="resolve",
@@ -428,6 +452,7 @@ class ResolutionSession:
             context=context,
             candidate_statistics=stats,
             em=em,
+            health=health_doc,
         )
 
     def _publish(self, matches: MatchSet) -> None:

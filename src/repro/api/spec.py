@@ -168,6 +168,10 @@ class ModelSpec:
     config: ZeroERConfig = field(default_factory=ZeroERConfig)
     #: Per-anchor cap for the linkage transitivity co-candidate sets.
     co_candidate_cap: int = 10
+    #: Wall-clock budget (seconds) for the EM fit; ``None`` (default) means
+    #: unbounded. On exhaustion EM returns best-so-far parameters with
+    #: ``converged=False`` and an ``em_time_budget_exhausted`` health flag.
+    time_budget_s: float | None = None
 
     def __post_init__(self):
         if not isinstance(self.config, ZeroERConfig):
@@ -178,18 +182,36 @@ class ModelSpec:
             raise SpecError(
                 f"co_candidate_cap must be an int >= 1, got {self.co_candidate_cap!r}"
             )
+        if self.time_budget_s is not None:
+            if (
+                not isinstance(self.time_budget_s, (int, float))
+                or isinstance(self.time_budget_s, bool)
+                or self.time_budget_s < 0
+            ):
+                raise SpecError(
+                    f"time_budget_s must be a number >= 0 or null, got "
+                    f"{self.time_budget_s!r}"
+                )
 
     def to_dict(self) -> dict:
-        return {"config": self.config.to_dict(), "co_candidate_cap": self.co_candidate_cap}
+        return {
+            "config": self.config.to_dict(),
+            "co_candidate_cap": self.co_candidate_cap,
+            "time_budget_s": self.time_budget_s,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModelSpec":
-        _require_keys(data, ("config", "co_candidate_cap"), "model")
+        _require_keys(data, ("config", "co_candidate_cap", "time_budget_s"), "model")
         try:
             config = ZeroERConfig.from_dict(data.get("config") or {})
         except (ValueError, TypeError) as exc:
             raise SpecError(f"invalid model config: {exc}") from exc
-        return cls(config=config, co_candidate_cap=data.get("co_candidate_cap", 10))
+        return cls(
+            config=config,
+            co_candidate_cap=data.get("co_candidate_cap", 10),
+            time_budget_s=data.get("time_budget_s"),
+        )
 
 
 @dataclass(frozen=True)
@@ -313,12 +335,18 @@ class PipelineSpec:
         """
         if self.telemetry.enabled:
             self.telemetry.apply()
+        fit_controls = None
+        if self.model.time_budget_s is not None:
+            from repro.reliability.checkpoint import FitControls
+
+            fit_controls = FitControls(time_budget_s=float(self.model.time_budget_s))
         return ERPipeline(
             blocker=self.blocking.build(),
             config=self.model.config,
             co_candidate_cap=self.model.co_candidate_cap,
             feature_engine=self.features.engine,
             type_overrides=self.features.build_overrides(),
+            fit_controls=fit_controls,
         )
 
     @classmethod
@@ -336,6 +364,7 @@ class PipelineSpec:
         object itself does not carry.
         """
         overrides = pipeline.type_overrides or {}
+        controls = getattr(pipeline, "fit_controls", None)
         return cls(
             blocking=BlockingSpec.from_blocker(pipeline.blocker),
             features=FeatureSpec(
@@ -343,7 +372,9 @@ class PipelineSpec:
                 type_overrides={a: t.value for a, t in overrides.items()},
             ),
             model=ModelSpec(
-                config=pipeline.config, co_candidate_cap=pipeline.co_candidate_cap
+                config=pipeline.config,
+                co_candidate_cap=pipeline.co_candidate_cap,
+                time_budget_s=controls.time_budget_s if controls is not None else None,
             ),
             output=OutputSpec(
                 threshold=0.5 if threshold is None else threshold, one_to_one=one_to_one

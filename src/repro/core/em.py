@@ -28,6 +28,13 @@ from repro.core.gaussian import BlockDiagonalGaussian
 from repro.core.initialization import magnitude_initialization
 from repro.core.regularization import apply_regularization, penalty_diagonal
 from repro.obs import add_counter, histogram_of, observe, set_gauge, span, telemetry_active
+from repro.reliability.checkpoint import CheckpointError, FitControls
+from repro.reliability.health import (
+    EM_NON_CONVERGENCE,
+    EM_RESUMED_FROM_CHECKPOINT,
+    EM_TIME_BUDGET_EXHAUSTED,
+    record_condition,
+)
 from repro.utils.validation import check_feature_groups, check_feature_matrix
 
 __all__ = [
@@ -196,6 +203,12 @@ class EMRunner:
         self.gamma = magnitude_initialization(self.X, config.init_threshold)
         self.params: MixtureParameters | None = None
         self.history = EMHistory()
+        # Iteration-loop state lives on the instance (not as locals in
+        # :meth:`run`) so a fit can be checkpointed mid-loop and resumed
+        # bit-identically — see :meth:`capture_loop_state`.
+        self._tail: deque[np.ndarray] = deque(maxlen=config.tail_window)
+        self._previous_ll: float | None = None
+        self._iteration = 0
         # The shared correlation R (§4) depends only on the data, not on the
         # posteriors — estimate it once.
         self._shared_correlation = (
@@ -227,6 +240,9 @@ class EMRunner:
         runner.gamma = np.zeros(0)
         runner.params = params
         runner.history = EMHistory()
+        runner._tail = deque(maxlen=config.tail_window)
+        runner._previous_ll = None
+        runner._iteration = 0
         runner._shared_correlation = None
         return runner
 
@@ -294,23 +310,155 @@ class EMRunner:
         self.gamma = gamma
         return float(np.mean(log_total))
 
+    # -- checkpointable loop state ------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """What a checkpoint must match to be resumable into this runner.
+
+        Resuming EM state onto a different candidate set, feature space, or
+        configuration would silently produce garbage; the fingerprint makes
+        that a :class:`~repro.reliability.checkpoint.CheckpointError`.
+        """
+        return {
+            "name": self.name,
+            "n_pairs": int(self.X.shape[0]),
+            "n_features": int(self.X.shape[1]),
+            "groups": [list(g) for g in self.groups],
+            "config": dataclasses.asdict(self.config),
+        }
+
+    def capture_loop_state(self, prefix: str = "") -> tuple[dict, dict[str, np.ndarray]]:
+        """Snapshot the iteration loop: ``(json_meta, named_arrays)``.
+
+        Everything :meth:`restore_loop_state` needs to continue the fit
+        bit-identically: posteriors, the tail-averaging window, the learned
+        parameters, the likelihood trace, and the loop counters. Array keys
+        are prefixed (``"F."`` etc.) so the record-linkage trainer can pack
+        three runners into one checkpoint.
+        """
+        n = int(self.gamma.shape[0])
+        arrays: dict[str, np.ndarray] = {
+            f"{prefix}gamma": np.asarray(self.gamma, dtype=np.float64),
+            f"{prefix}tail": (
+                np.stack(self._tail) if self._tail else np.zeros((0, n))
+            ),
+        }
+        meta = {
+            "iteration": self._iteration,
+            "previous_ll": self._previous_ll,
+            "log_likelihoods": list(self.history.log_likelihoods),
+            "iteration_seconds": list(self.history.iteration_seconds),
+            "transitivity_adjustments": list(self.history.transitivity_adjustments),
+            "has_params": self.params is not None,
+        }
+        if self.params is not None:
+            state = mixture_state(self.params)
+            meta["prior_match"] = state["prior_match"]
+            meta["n_blocks"] = len(state["match_blocks"])
+            arrays[f"{prefix}match_mean"] = state["match_mean"]
+            arrays[f"{prefix}unmatch_mean"] = state["unmatch_mean"]
+            for c in ("match", "unmatch"):
+                for g, block in enumerate(state[f"{c}_blocks"]):
+                    arrays[f"{prefix}{c}_block_{g}"] = block
+        return meta, arrays
+
+    def restore_loop_state(self, meta: dict, arrays, prefix: str = "") -> None:
+        """Inverse of :meth:`capture_loop_state`: rewind to the snapshot."""
+        self.gamma = np.asarray(arrays[f"{prefix}gamma"], dtype=np.float64)
+        tail_stack = np.asarray(arrays[f"{prefix}tail"], dtype=np.float64)
+        self._tail = deque(
+            (row.copy() for row in tail_stack), maxlen=self.config.tail_window
+        )
+        self._previous_ll = meta["previous_ll"]
+        self._iteration = int(meta["iteration"])
+        self.history.log_likelihoods = [float(v) for v in meta["log_likelihoods"]]
+        self.history.iteration_seconds = [float(v) for v in meta["iteration_seconds"]]
+        self.history.transitivity_adjustments = [
+            int(v) for v in meta["transitivity_adjustments"]
+        ]
+        if meta.get("has_params"):
+            n_blocks = int(meta["n_blocks"])
+            self.params = mixture_from_state(
+                {
+                    "prior_match": meta["prior_match"],
+                    "match_mean": arrays[f"{prefix}match_mean"],
+                    "unmatch_mean": arrays[f"{prefix}unmatch_mean"],
+                    "match_blocks": [
+                        arrays[f"{prefix}match_block_{g}"] for g in range(n_blocks)
+                    ],
+                    "unmatch_blocks": [
+                        arrays[f"{prefix}unmatch_block_{g}"] for g in range(n_blocks)
+                    ],
+                },
+                self.groups,
+            )
+
+    def save_checkpoint(self, store) -> None:
+        """Write this runner's loop state through the crash-safe writer."""
+        meta, arrays = self.capture_loop_state()
+        store.save(
+            {
+                "format": 1,
+                "kind": "em",
+                "iteration": self._iteration,
+                "fingerprint": self.fingerprint(),
+                "runner": meta,
+            },
+            arrays,
+        )
+
+    def resume_from_checkpoint(self, store) -> bool:
+        """Restore the latest valid checkpoint; ``False`` if there is none.
+
+        Raises :class:`~repro.reliability.checkpoint.CheckpointError` when
+        the stored fingerprint does not match this fit (different data,
+        feature space, or configuration).
+        """
+        loaded = store.latest()
+        if loaded is None:
+            return False
+        meta, arrays = loaded
+        if meta.get("kind") != "em" or meta.get("fingerprint") != self.fingerprint():
+            raise CheckpointError(
+                f"checkpoint in {store.root} does not match this fit "
+                "(different data, feature space, or configuration)",
+                path=store.root,
+            )
+        self.restore_loop_state(meta["runner"], arrays)
+        record_condition(
+            EM_RESUMED_FROM_CHECKPOINT,
+            f"{self.name}: resumed EM at iteration {self._iteration}",
+            severity="info",
+            model=self.name,
+            iteration=self._iteration,
+        )
+        return True
+
     # -- full loop (single-model case) ------------------------------------------
 
-    def run(self, calibrator=None) -> EMHistory:
+    def run(self, calibrator=None, controls: FitControls | None = None) -> EMHistory:
         """Algorithm 1: iterate M/E (with optional transitivity calibration).
 
         On hitting ``max_iter`` without likelihood convergence the posterior
         is replaced by the average of the last ``tail_window`` iterations'
-        posteriors (§6's tail averaging).
+        posteriors (§6's tail averaging). ``controls`` adds the reliability
+        behaviors (all off by default): periodic crash-safe checkpoints,
+        resuming from the latest checkpoint, and a wall-clock budget that
+        stops the loop with best-so-far parameters and ``converged=False``
+        instead of running to ``max_iter``.
         """
         cfg = self.config
         traced = telemetry_active()
+        store = controls.checkpoint if controls is not None else None
+        started_run = time.monotonic()
         with span(
             "em.fit", model=self.name, n_pairs=int(self.X.shape[0]), max_iter=cfg.max_iter
         ) as sp:
-            tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
-            previous_ll: float | None = None
-            for iteration in range(cfg.max_iter):
+            if controls is not None and controls.resume and store is not None:
+                self.resume_from_checkpoint(store)
+            budget_hit = False
+            while self._iteration < cfg.max_iter:
+                iteration = self._iteration
                 started = time.perf_counter()
                 self.m_step()
                 ll = self.e_step()
@@ -318,19 +466,50 @@ class EMRunner:
                     self.history.transitivity_adjustments.append(
                         calibrator.calibrate(self.gamma)
                     )
-                tail.append(self.gamma.copy())
+                self._tail.append(self.gamma.copy())
                 self.history.iteration_seconds.append(time.perf_counter() - started)
                 self.history.log_likelihoods.append(ll)
                 if traced:
                     self.history.match_probability_histograms.append(
                         match_probability_histogram(self.gamma)
                     )
-                if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                self._iteration += 1
+                if self._previous_ll is not None and abs(ll - self._previous_ll) < cfg.tol:
                     self.history.converged = True
                     break
-                previous_ll = ll
-            if not self.history.converged and len(tail) > 1:
-                self.gamma = np.mean(np.stack(tail), axis=0)
+                self._previous_ll = ll
+                if controls is not None and controls.time_budget_s is not None:
+                    budget_hit = time.monotonic() - started_run >= controls.time_budget_s
+                # Checkpoints capture the clean loop state *before* any
+                # tail-averaging, so a resumed run continues exactly where
+                # an uninterrupted one would be.
+                if store is not None and (
+                    budget_hit or self._iteration % controls.checkpoint_every == 0
+                ):
+                    self.save_checkpoint(store)
+                if budget_hit:
+                    record_condition(
+                        EM_TIME_BUDGET_EXHAUSTED,
+                        f"{self.name}: EM stopped after {self._iteration} iterations "
+                        f"on a {controls.time_budget_s:g}s budget; returning "
+                        "best-so-far parameters",
+                        model=self.name,
+                        iteration=self._iteration,
+                        time_budget_s=controls.time_budget_s,
+                    )
+                    break
+            if not self.history.converged:
+                if not budget_hit:
+                    record_condition(
+                        EM_NON_CONVERGENCE,
+                        f"{self.name}: EM hit max_iter={cfg.max_iter} without "
+                        "likelihood convergence; returning the tail-averaged "
+                        "posterior",
+                        model=self.name,
+                        max_iter=cfg.max_iter,
+                    )
+                if len(self._tail) > 1:
+                    self.gamma = np.mean(np.stack(self._tail), axis=0)
             sp.set(
                 n_iterations=self.history.n_iterations, converged=self.history.converged
             )

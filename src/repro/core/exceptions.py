@@ -1,10 +1,25 @@
 """Exception hierarchy for the ZeroER core."""
 
-__all__ = ["ZeroERError", "InitializationError", "EMFailureError"]
+__all__ = [
+    "ZeroERError",
+    "InitializationError",
+    "EMFailureError",
+    "FeatureMatrixError",
+]
 
 
 class ZeroERError(Exception):
     """Base class for all ZeroER-specific failures."""
+
+
+class FeatureMatrixError(ZeroERError, ValueError):
+    """A feature matrix is unusable for fitting (e.g. infinite values).
+
+    Subclasses ``ValueError`` so existing callers that catch the generic
+    validation error keep working; the message names the offending columns
+    so the diagnostic points at the feature, not at a numpy warning three
+    layers down.
+    """
 
 
 class InitializationError(ZeroERError):

@@ -19,7 +19,6 @@ calibrated posteriors before their own E-steps.
 from __future__ import annotations
 
 import time
-from collections import deque
 from collections.abc import Sequence
 
 import numpy as np
@@ -36,6 +35,13 @@ from repro.core.em import (
 from repro.obs import span, telemetry_active
 from repro.core.exceptions import InitializationError
 from repro.core.transitivity import LinkageTransitivityCalibrator
+from repro.reliability.checkpoint import CheckpointError, FitControls
+from repro.reliability.health import (
+    EM_NON_CONVERGENCE,
+    EM_RESUMED_FROM_CHECKPOINT,
+    EM_TIME_BUDGET_EXHAUSTED,
+    record_condition,
+)
 from repro.features.normalize import (
     MinMaxNormalizer,
     apply_normalization,
@@ -89,11 +95,15 @@ class ZeroERLinkage:
         left_pairs: Sequence[tuple] | None = None,
         X_right=None,
         right_pairs: Sequence[tuple] | None = None,
+        controls: FitControls | None = None,
     ) -> "ZeroERLinkage":
         """Train F (and Fl/Fr when within-table pair sets are provided).
 
         All three feature matrices must come from the same feature generator
-        so that ``feature_groups`` applies to each.
+        so that ``feature_groups`` applies to each. ``controls`` adds the
+        reliability behaviors: combined F/Fl/Fr checkpoints through the
+        crash-safe writer, resume, and a wall-clock budget (see
+        :class:`~repro.reliability.checkpoint.FitControls`).
         """
         if len(cross_pairs) != np.asarray(X_cross).shape[0]:
             raise ValueError("cross_pairs must align with X_cross rows")
@@ -116,17 +126,25 @@ class ZeroERLinkage:
                 max_degree=cfg.transitivity_max_degree,
             )
 
-        if cfg.linkage_mode == "staged":
+        store = controls.checkpoint if controls is not None else None
+        resumed = False
+        if controls is not None and controls.resume and store is not None:
+            resumed = self._resume_from_checkpoint(store)
+
+        if cfg.linkage_mode == "staged" and not resumed:
             # Train the within-table models to convergence first; their
             # posteriors are then fixed inputs to F's calibration (writes from
             # the calibrator persist, preventing raise-then-overwrite cycles).
+            # A resumed fit restores the sides' trained state instead.
             for side in (self._left, self._right):
                 if side is not None:
                     side.run()
 
         traced = telemetry_active()
-        history = self._cross.history
+        cross = self._cross
+        history = cross.history
         joint = cfg.linkage_mode == "joint"
+        started_run = time.monotonic()
         with span(
             "em.fit",
             model="F",
@@ -134,15 +152,15 @@ class ZeroERLinkage:
             max_iter=cfg.max_iter,
             linkage_mode=cfg.linkage_mode,
         ) as sp:
-            tail: deque[np.ndarray] = deque(maxlen=cfg.tail_window)
-            previous_ll: float | None = None
-            for iteration in range(cfg.max_iter):
+            budget_hit = False
+            while cross._iteration < cfg.max_iter:
+                iteration = cross._iteration
                 started = time.perf_counter()
-                self._cross.m_step()
-                ll = self._cross.e_step()
+                cross.m_step()
+                ll = cross.e_step()
                 if calibrator is not None and iteration >= cfg.transitivity_warmup:
                     adjusted = calibrator.calibrate(
-                        self._cross.gamma,
+                        cross.gamma,
                         self._left.gamma if self._left is not None else None,
                         self._right.gamma if self._right is not None else None,
                     )
@@ -154,23 +172,116 @@ class ZeroERLinkage:
                         if side is not None:
                             side.m_step()
                             side.e_step()
-                tail.append(self._cross.gamma.copy())
+                cross._tail.append(cross.gamma.copy())
                 history.iteration_seconds.append(time.perf_counter() - started)
                 history.log_likelihoods.append(ll)
                 if traced:
                     history.match_probability_histograms.append(
-                        match_probability_histogram(self._cross.gamma)
+                        match_probability_histogram(cross.gamma)
                     )
-                if previous_ll is not None and abs(ll - previous_ll) < cfg.tol:
+                cross._iteration += 1
+                if cross._previous_ll is not None and abs(ll - cross._previous_ll) < cfg.tol:
                     history.converged = True
                     break
-                previous_ll = ll
-            if not history.converged and len(tail) > 1:
-                self._cross.gamma = np.mean(np.stack(tail), axis=0)
+                cross._previous_ll = ll
+                if controls is not None and controls.time_budget_s is not None:
+                    budget_hit = time.monotonic() - started_run >= controls.time_budget_s
+                # Checkpoints capture the clean loop state of all three
+                # runners *before* any tail-averaging.
+                if store is not None and (
+                    budget_hit or cross._iteration % controls.checkpoint_every == 0
+                ):
+                    self._save_checkpoint(store)
+                if budget_hit:
+                    record_condition(
+                        EM_TIME_BUDGET_EXHAUSTED,
+                        f"F: EM stopped after {cross._iteration} iterations on a "
+                        f"{controls.time_budget_s:g}s budget; returning best-so-far "
+                        "parameters",
+                        model="F",
+                        iteration=cross._iteration,
+                        time_budget_s=controls.time_budget_s,
+                    )
+                    break
+            if not history.converged:
+                if not budget_hit:
+                    record_condition(
+                        EM_NON_CONVERGENCE,
+                        f"F: EM hit max_iter={cfg.max_iter} without likelihood "
+                        "convergence; returning the tail-averaged posterior",
+                        model="F",
+                        max_iter=cfg.max_iter,
+                    )
+                if len(cross._tail) > 1:
+                    cross.gamma = np.mean(np.stack(cross._tail), axis=0)
             sp.set(n_iterations=history.n_iterations, converged=history.converged)
         if traced:
-            emit_fit_metrics("F", history, self._cross.gamma)
+            emit_fit_metrics("F", history, cross.gamma)
         return self
+
+    # -- combined checkpoints ------------------------------------------------------
+
+    _SIDES = (("Fl", "_left"), ("Fr", "_right"))
+
+    def _save_checkpoint(self, store) -> None:
+        """One checkpoint holding F and whichever of Fl/Fr exist."""
+        meta_f, arrays = self._cross.capture_loop_state(prefix="F.")
+        runners: dict[str, dict | None] = {"F": meta_f}
+        for name, attr in self._SIDES:
+            side = getattr(self, attr)
+            if side is not None:
+                meta_side, side_arrays = side.capture_loop_state(prefix=f"{name}.")
+                runners[name] = meta_side
+                arrays.update(side_arrays)
+            else:
+                runners[name] = None
+        store.save(
+            {
+                "format": 1,
+                "kind": "linkage",
+                "iteration": self._cross._iteration,
+                "fingerprint": self._cross.fingerprint(),
+                "runners": runners,
+            },
+            arrays,
+        )
+
+    def _resume_from_checkpoint(self, store) -> bool:
+        """Restore F/Fl/Fr from the latest valid combined checkpoint."""
+        loaded = store.latest()
+        if loaded is None:
+            return False
+        meta, arrays = loaded
+        if (
+            meta.get("kind") != "linkage"
+            or meta.get("fingerprint") != self._cross.fingerprint()
+        ):
+            raise CheckpointError(
+                f"checkpoint in {store.root} does not match this linkage fit "
+                "(different data, feature space, or configuration)",
+                path=store.root,
+            )
+        runners = meta["runners"]
+        for name, attr in self._SIDES:
+            if (runners.get(name) is None) != (getattr(self, attr) is None):
+                raise CheckpointError(
+                    f"checkpoint in {store.root} disagrees with this fit about "
+                    f"the {name} within-table model",
+                    path=store.root,
+                )
+        self._cross.restore_loop_state(runners["F"], arrays, prefix="F.")
+        for name, attr in self._SIDES:
+            side = getattr(self, attr)
+            if side is not None:
+                side.restore_loop_state(runners[name], arrays, prefix=f"{name}.")
+        record_condition(
+            EM_RESUMED_FROM_CHECKPOINT,
+            f"F: resumed linkage EM at iteration {self._cross._iteration}",
+            severity="info",
+            model="F",
+            iteration=self._cross._iteration,
+        )
+        return True
 
     def _optional_runner(self, X, pairs, groups, name) -> EMRunner | None:
         if X is None:

@@ -65,6 +65,7 @@ class ZeroER:
         X,
         feature_groups: Sequence[Sequence[int]] | None = None,
         pairs: Sequence[tuple] | None = None,
+        controls=None,
     ) -> "ZeroER":
         """Fit the generative model on an unlabeled candidate set.
 
@@ -80,6 +81,9 @@ class ZeroER:
             Record-id pairs aligned with the rows of ``X``. Required for
             transitivity calibration; if omitted while
             ``config.transitivity`` is on, calibration is skipped.
+        controls:
+            Optional :class:`~repro.reliability.checkpoint.FitControls`:
+            crash-safe EM checkpoints, resume, and a wall-clock budget.
         """
         X = check_feature_matrix(X, allow_nan=True)
         if pairs is not None and len(pairs) != X.shape[0]:
@@ -91,7 +95,7 @@ class ZeroER:
             calibrator = DedupTransitivityCalibrator(
                 pairs, max_degree=self.config.transitivity_max_degree
             )
-        self._runner.run(calibrator)
+        self._runner.run(calibrator, controls=controls)
         return self
 
     def fit_predict(

@@ -1,24 +1,38 @@
-"""Frozen-model artifacts: save/load a fitted generator + matcher to disk.
+"""Frozen-model artifacts: crash-safe save/load of a fitted generator + matcher.
 
-An artifact directory is two files:
+An artifact root holds immutable *versions*, each a directory published
+atomically, plus a ``CURRENT`` pointer file naming the live one::
 
-* ``manifest.json`` — versioned schema: model kind and configuration,
-  feature grouping, the generator's fitted state (attribute types, idf
-  tables, numeric scales), and any extra payload the caller attaches
-  (the incremental resolver stores its entity store and index parameters
-  here);
-* ``arrays.npz`` — every numeric array of the fitted model (normalization
-  statistics, imputation means, mixture means and covariance blocks).
+    artifacts/
+      CURRENT            → "v000002"
+      v000002/
+        manifest.json    — versioned schema: model kind and configuration,
+                           feature grouping, generator state, extra payload
+        arrays.npz       — every numeric array of the fitted model
+        checksums.json   — sha256 per file, verified at load time
 
-The split keeps the artifact inspectable (the manifest is plain JSON) while
-arrays round-trip bit-identically through ``.npz``; JSON floats round-trip
-exactly too (``json`` serializes via ``repr``), so a loaded model's
-``predict_proba`` equals the original's to the last bit.
+A save stages the new version next to its final name, fsyncs it, publishes
+it with one ``rename``, then atomically swaps ``CURRENT``. A crash at any
+point leaves either the old version live or the new one — the pointer swap
+is the single commit point, and the fault-injection suite
+(``tests/test_reliability_faults.py``) proves loads never observe a third
+state. Loads verify the checksum manifest first; a directory that fails
+validation is quarantined to ``*.corrupt`` and reported as a structured
+:class:`ArtifactError` instead of a numpy/json traceback.
+
+The JSON/npz split keeps the artifact inspectable while arrays round-trip
+bit-identically; JSON floats round-trip exactly too (``json`` serializes
+via ``repr``), so a loaded model's ``predict_proba`` equals the original's
+to the last bit. Pre-reliability flat artifacts (``manifest.json`` +
+``arrays.npz`` directly in the root, no checksums) remain readable.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import re
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,18 +40,81 @@ import numpy as np
 from repro.core.linkage import ZeroERLinkage
 from repro.core.model import ZeroER
 from repro.features.generator import FeatureGenerator
+from repro.reliability.atomic import (
+    IntegrityError,
+    atomic_directory,
+    atomic_write_text,
+    cleanup_stale_tmp,
+    quarantine,
+    remove_tree,
+    retry_io,
+    staged_write_bytes,
+    verify_checksum_manifest,
+    write_checksum_manifest,
+)
+from repro.reliability.health import ARTIFACT_IO_RETRIED, record_condition
 
-__all__ = ["SCHEMA_VERSION", "save_artifacts", "load_artifacts", "ArtifactError"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "CURRENT_NAME",
+    "save_artifacts",
+    "load_artifacts",
+    "artifact_dir",
+    "ArtifactError",
+]
 
 #: Bump when the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
 
+#: Pointer file in the artifact root naming the live version directory.
+CURRENT_NAME = "CURRENT"
+
+#: Version directories retained after a save (the live one and its predecessor).
+KEEP_VERSIONS = 2
+
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
+_VERSION_RE = re.compile(r"^v(\d{6,})$")
+
+#: Everything a corrupt artifact can throw while being deserialized.
+_CORRUPTION_EXCS = (
+    OSError,
+    ValueError,
+    KeyError,
+    TypeError,
+    EOFError,
+    zipfile.BadZipFile,
+)
 
 
 class ArtifactError(RuntimeError):
-    """Raised when an artifact directory is missing, corrupt, or incompatible."""
+    """An artifact directory is missing, corrupt, or incompatible.
+
+    Attributes
+    ----------
+    path:
+        The artifact root (or version directory) that failed.
+    reason:
+        One of ``"missing"`` (no artifact there), ``"integrity"`` (checksum
+        manifest failed), ``"corrupt"`` (deserialization failed),
+        ``"schema"`` (valid bytes, unsupported schema version or model
+        kind).
+    quarantined:
+        Where the corrupt directory was moved, when quarantine applied.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Path | None = None,
+        reason: str = "corrupt",
+        quarantined: Path | None = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+        self.quarantined = quarantined
 
 
 def _split_model_state(state: dict) -> tuple[dict, dict[str, np.ndarray]]:
@@ -83,6 +160,79 @@ def _join_model_state(meta: dict, arrays) -> dict:
     }
 
 
+def _version_dirs(root: Path) -> list[tuple[int, Path]]:
+    """Published version directories under ``root``, oldest first."""
+    found = []
+    for entry in root.iterdir():
+        match = _VERSION_RE.match(entry.name)
+        if match and entry.is_dir():
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def artifact_dir(path: str | Path) -> Path:
+    """The directory actually holding ``manifest.json`` for an artifact root.
+
+    Resolves the ``CURRENT`` pointer for versioned artifacts; returns the
+    root itself for the legacy flat layout. Raises :class:`ArtifactError`
+    if there is no artifact at ``path``.
+    """
+    root = Path(path)
+    pointer = root / CURRENT_NAME
+    if pointer.is_file():
+        try:
+            name = pointer.read_text(encoding="utf-8").strip()
+        except OSError as exc:
+            raise ArtifactError(
+                f"unreadable {CURRENT_NAME} pointer in {root}: {exc}",
+                path=root,
+                reason="corrupt",
+            ) from exc
+        version_dir = root / name
+        if not _VERSION_RE.match(name) or not version_dir.is_dir():
+            raise ArtifactError(
+                f"{CURRENT_NAME} in {root} points at {name!r}, "
+                "which is not a published version directory",
+                path=root,
+                reason="corrupt",
+            )
+        return version_dir
+    if (root / _MANIFEST).is_file():
+        return root
+    raise ArtifactError(
+        f"{root} is not an artifact directory (no {CURRENT_NAME} and no {_MANIFEST})",
+        path=root,
+        reason="missing",
+    )
+
+
+def _record_retry(exc, attempt):
+    record_condition(
+        ARTIFACT_IO_RETRIED,
+        f"transient I/O failure during artifact write (attempt {attempt + 1}): {exc}",
+        severity="info",
+    )
+
+
+def _publish_version(root: Path, version: int, manifest: dict, arrays: dict) -> Path:
+    """Stage + publish one immutable version directory (idempotent on retry)."""
+    version_dir = root / f"v{version:06d}"
+    if version_dir.exists():
+        # A previous attempt published the directory but died before the
+        # pointer swap; rebuild it so retries start from a clean slate.
+        remove_tree(version_dir)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    with atomic_directory(version_dir) as staging:
+        staged_write_bytes(
+            staging / _MANIFEST,
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        staged_write_bytes(staging / _ARRAYS, buffer.getvalue())
+        write_checksum_manifest(staging)
+    return version_dir
+
+
 def save_artifacts(
     path: str | Path,
     generator: FeatureGenerator,
@@ -91,12 +241,19 @@ def save_artifacts(
     spec: dict | None = None,
     report: dict | None = None,
 ) -> Path:
-    """Write a fitted generator + matcher to an artifact directory.
+    """Write a fitted generator + matcher to an artifact root, crash-safely.
+
+    The new version becomes live only when the ``CURRENT`` pointer is
+    atomically replaced; a crash anywhere before that leaves the previous
+    version untouched and live. Transient ``OSError`` is retried with
+    backoff. Stale temp entries from earlier crashed writers are swept
+    first, and versions older than :data:`KEEP_VERSIONS` are pruned after
+    the swap (best-effort).
 
     Parameters
     ----------
     path:
-        Directory to create (or reuse — both artifact files are overwritten).
+        Artifact root directory to create or update.
     generator:
         Fitted :class:`~repro.features.generator.FeatureGenerator`.
     model:
@@ -116,8 +273,9 @@ def save_artifacts(
     """
     from repro import __version__
 
-    path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    cleanup_stale_tmp(root)
     meta, arrays = _split_model_state(model.get_fitted_state())
     manifest = {
         "schema_version": SCHEMA_VERSION,
@@ -130,44 +288,104 @@ def save_artifacts(
         manifest["pipeline_spec"] = spec
     if report is not None:
         manifest["run_report"] = report
-    with (path / _MANIFEST).open("w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-    np.savez(path / _ARRAYS, **arrays)
-    return path
+
+    existing = _version_dirs(root)
+    version = existing[-1][0] + 1 if existing else 1
+    version_dir = retry_io(
+        lambda: _publish_version(root, version, manifest, arrays),
+        on_retry=_record_retry,
+    )
+    # The commit point: readers follow CURRENT, and this replace is atomic.
+    retry_io(
+        lambda: atomic_write_text(root / CURRENT_NAME, version_dir.name + "\n"),
+        on_retry=_record_retry,
+    )
+    # Drop superseded versions (and any legacy flat files) — best-effort,
+    # never at the expense of the save that already committed.
+    for _, old_dir in _version_dirs(root)[:-KEEP_VERSIONS]:
+        remove_tree(old_dir)
+    for legacy in (root / _MANIFEST, root / _ARRAYS):
+        remove_tree(legacy)
+    return root
+
+
+def _quarantine_and_raise(version_dir: Path, message: str, reason: str, cause=None):
+    quarantined = None
+    if _VERSION_RE.match(version_dir.name):
+        quarantined = quarantine(version_dir)
+        message += f" (quarantined to {quarantined.name})"
+    raise ArtifactError(
+        message, path=version_dir, reason=reason, quarantined=quarantined
+    ) from cause
 
 
 def load_artifacts(
     path: str | Path,
 ) -> tuple[FeatureGenerator, ZeroER | ZeroERLinkage, dict]:
-    """Load ``(generator, model, manifest)`` from an artifact directory.
+    """Load ``(generator, model, manifest)`` from an artifact root.
 
-    The returned model is frozen (inference-only): ``predict_proba`` and
-    ``predict`` work, re-fitting does not. The full manifest is returned so
-    callers can read their ``extra`` payload.
+    The checksum manifest is verified before anything is deserialized; a
+    version directory that fails verification or deserialization is moved
+    to ``*.corrupt`` and a structured :class:`ArtifactError` is raised —
+    never a raw numpy/json traceback. The returned model is frozen
+    (inference-only): ``predict_proba`` and ``predict`` work, re-fitting
+    does not. The full manifest is returned so callers can read their
+    ``extra`` payload.
     """
-    path = Path(path)
-    manifest_path = path / _MANIFEST
-    if not manifest_path.is_file():
-        raise ArtifactError(f"{path} is not an artifact directory (no {_MANIFEST})")
-    with manifest_path.open("r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    version = manifest.get("schema_version")
+    root = Path(path)
+    directory = artifact_dir(root)
+    versioned = directory != root
+    if versioned:
+        try:
+            verify_checksum_manifest(directory)
+        except IntegrityError as exc:
+            _quarantine_and_raise(
+                directory, f"artifact failed integrity check: {exc}", "integrity", exc
+            )
+    try:
+        with (directory / _MANIFEST).open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except _CORRUPTION_EXCS as exc:
+        if versioned:
+            _quarantine_and_raise(
+                directory, f"unreadable artifact manifest: {exc}", "corrupt", exc
+            )
+        raise ArtifactError(
+            f"unreadable artifact manifest in {directory}: {exc}",
+            path=directory,
+            reason="corrupt",
+        ) from exc
+    version = manifest.get("schema_version") if isinstance(manifest, dict) else None
     if version != SCHEMA_VERSION:
         raise ArtifactError(
             f"artifact schema version {version!r} is not supported "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads version {SCHEMA_VERSION})",
+            path=directory,
+            reason="schema",
         )
     try:
-        with np.load(path / _ARRAYS) as arrays:
+        with np.load(directory / _ARRAYS) as arrays:
             state = _join_model_state(manifest["model"], dict(arrays))
+        generator = FeatureGenerator.from_state(manifest["generator"])
     except FileNotFoundError as exc:
-        raise ArtifactError(f"{path} is missing {_ARRAYS}") from exc
+        message = f"{directory} is missing {_ARRAYS}"
+        if versioned:
+            _quarantine_and_raise(directory, message, "corrupt", exc)
+        raise ArtifactError(message, path=directory, reason="corrupt") from exc
+    except _CORRUPTION_EXCS as exc:
+        message = f"corrupt artifact in {directory}: {exc}"
+        if versioned:
+            _quarantine_and_raise(directory, message, "corrupt", exc)
+        raise ArtifactError(message, path=directory, reason="corrupt") from exc
     kind = state["kind"]
     if kind == "zeroer":
         model: ZeroER | ZeroERLinkage = ZeroER.from_fitted_state(state)
     elif kind == "linkage":
         model = ZeroERLinkage.from_fitted_state(state)
     else:
-        raise ArtifactError(f"unknown model kind {kind!r} in manifest")
-    generator = FeatureGenerator.from_state(manifest["generator"])
+        raise ArtifactError(
+            f"unknown model kind {kind!r} in manifest",
+            path=directory,
+            reason="schema",
+        )
     return generator, model, manifest

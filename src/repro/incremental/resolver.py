@@ -28,10 +28,16 @@ from repro.features.generator import (
     clear_feature_caches,
     validate_feature_engine,
 )
-from repro.incremental.artifacts import load_artifacts, save_artifacts
+from repro.incremental.artifacts import ArtifactError, load_artifacts, save_artifacts
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import EntityStore
 from repro.obs import RunTelemetry, add_counter, collect_run, span
+from repro.reliability.health import (
+    EMPTY_CANDIDATE_SET,
+    HealthReport,
+    health_scope,
+    record_condition,
+)
 
 __all__ = ["IncrementalResolver", "ResolveResult"]
 
@@ -55,6 +61,9 @@ class ResolveResult:
     #: Spans/metrics captured while resolving this batch (a
     #: :class:`~repro.obs.report.RunTelemetry`).
     telemetry: object | None = field(default=None, repr=False, compare=False)
+    #: Degradations recorded while resolving (a
+    #: :class:`~repro.reliability.health.HealthReport`).
+    health: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def matches(self) -> list[tuple]:
@@ -85,6 +94,8 @@ class ResolveResult:
         telemetry = self.telemetry
         if telemetry is None:
             telemetry = RunTelemetry(kind="resolve.incremental", traced=False)
+        if telemetry.health is None and self.health is not None and len(self.health):
+            telemetry.health = self.health.to_dict()
         return build_report(telemetry, self.seconds)
 
 
@@ -168,7 +179,10 @@ class IncrementalResolver:
                 raise ValueError(f"record id {rid!r} appears twice in the batch")
             batch_ids.add(rid)
 
-        with collect_run("resolve.incremental", batch_size=len(records)) as col:
+        health = HealthReport()
+        with collect_run("resolve.incremental", batch_size=len(records)) as col, health_scope(
+            health
+        ):
             with span("candidates", batch_size=len(records)) as sp:
                 pairs: list[tuple] = []
                 new_ids = []
@@ -182,6 +196,13 @@ class IncrementalResolver:
                     new_ids.append(rid)
                 sp.set(n_pairs=len(pairs))
             timings["candidates"] = sp.seconds
+            if records and not pairs:
+                record_condition(
+                    EMPTY_CANDIDATE_SET,
+                    f"the index produced no candidate pairs for this batch of "
+                    f"{len(records)} records; all records form new entities",
+                    batch_size=len(records),
+                )
 
             # Empty batches and batches with no candidates still go through
             # the spans, so reports carry real measured timings — never
@@ -232,7 +253,9 @@ class IncrementalResolver:
                         "store_size": len(self.store),
                     },
                 ),
+                health=health,
             )
+        result.telemetry.health = health.to_dict() if len(health) else None
         if col is not None:
             result.telemetry.metrics = col.registry.snapshot()
         return result
@@ -278,11 +301,23 @@ class IncrementalResolver:
 
     @classmethod
     def load(cls, path: str | Path) -> "IncrementalResolver":
-        """Restore a resolver saved with :meth:`save`, ready to keep resolving."""
+        """Restore a resolver saved with :meth:`save`, ready to keep resolving.
+
+        Raises :class:`~repro.incremental.artifacts.ArtifactError` — never a
+        raw ``KeyError``/numpy traceback — when the artifact is valid but
+        carries no resolver state, or its stored state cannot be rebuilt.
+        """
         generator, model, manifest = load_artifacts(path)
-        payload = manifest["extra"]["resolver"]
-        store = EntityStore.from_state(payload["store"])
-        index = IncrementalTokenIndex.from_params(payload["index"])
+        try:
+            payload = manifest["extra"]["resolver"]
+            store = EntityStore.from_state(payload["store"])
+            index = IncrementalTokenIndex.from_params(payload["index"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"artifact at {path} carries no loadable resolver state: {exc}",
+                path=Path(path),
+                reason="schema",
+            ) from exc
         index.add(store.records())
         spec_payload = manifest.get("pipeline_spec")
         spec = None

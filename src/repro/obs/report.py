@@ -52,6 +52,10 @@ class RunTelemetry:
     context: dict = field(default_factory=dict)
     candidate_statistics: dict | None = None
     em: dict | None = None
+    #: Graceful-degradation flags (a
+    #: :meth:`~repro.reliability.health.HealthReport.to_dict` payload), or
+    #: ``None`` when the run recorded no degraded conditions.
+    health: dict | None = None
 
 
 def em_history_summary(history) -> dict:
@@ -88,6 +92,7 @@ def build_report(telemetry: RunTelemetry, seconds: dict | None = None) -> dict:
         "timings": {k: float(v) for k, v in (seconds or {}).items()},
         "candidate_statistics": telemetry.candidate_statistics,
         "em": telemetry.em,
+        "health": telemetry.health,
         "metrics": {
             "counters": dict(metrics.get("counters", {})),
             "gauges": dict(metrics.get("gauges", {})),
@@ -142,7 +147,9 @@ def validate_report(doc) -> dict:
     ):
         if key in doc and not isinstance(doc[key], expected):
             problems.append(f"{key} must be a {expected.__name__}")
-    for key in ("candidate_statistics", "em"):
+    # "health" is optional (reports written before the reliability layer
+    # carry no key at all) — but when present it must be a dict or null.
+    for key in ("candidate_statistics", "em", "health"):
         if key in doc and doc[key] is not None and not isinstance(doc[key], dict):
             problems.append(f"{key} must be a dict or null")
     timings = doc.get("timings")

@@ -1,0 +1,87 @@
+"""Reliability substrate: crash-safe I/O, resumable fits, health reporting.
+
+Everything here exists so a ``kill -9`` (or a flaky disk) at any moment
+leaves the system in a defined state:
+
+* :mod:`repro.reliability.atomic` — atomic file/directory writes, sha256
+  checksum manifests, quarantine, bounded I/O retry.
+* :mod:`repro.reliability.checkpoint` — iteration-stamped EM checkpoints
+  and the :class:`FitControls` knob bundle (checkpointing cadence, resume,
+  wall-clock budget).
+* :mod:`repro.reliability.health` — graceful-degradation flags collected
+  into a :class:`HealthReport` per run.
+* :mod:`repro.reliability.faultinject` — the failpoint harness the test
+  suite uses to prove the crash-consistency invariant.
+"""
+
+from repro.reliability.atomic import (
+    CHECKSUMS_NAME,
+    TMP_MARKER,
+    IntegrityError,
+    atomic_directory,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    cleanup_stale_tmp,
+    quarantine,
+    retry_io,
+    sha256_file,
+    verify_checksum_manifest,
+    write_checksum_manifest,
+)
+from repro.reliability.checkpoint import CheckpointError, CheckpointStore, FitControls
+from repro.reliability.faultinject import (
+    FaultInjector,
+    SimulatedCrash,
+    inject,
+    record_failpoints,
+)
+from repro.reliability.health import (
+    ALL_NAN_FEATURE_COLUMN,
+    ARTIFACT_IO_RETRIED,
+    EM_NON_CONVERGENCE,
+    EM_RESUMED_FROM_CHECKPOINT,
+    EM_TIME_BUDGET_EXHAUSTED,
+    EMPTY_CANDIDATE_SET,
+    SINGULAR_COVARIANCE_FALLBACK,
+    HealthFlag,
+    HealthReport,
+    active_health,
+    health_scope,
+    record_condition,
+)
+
+__all__ = [
+    "TMP_MARKER",
+    "CHECKSUMS_NAME",
+    "IntegrityError",
+    "atomic_directory",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "cleanup_stale_tmp",
+    "quarantine",
+    "retry_io",
+    "sha256_file",
+    "verify_checksum_manifest",
+    "write_checksum_manifest",
+    "CheckpointError",
+    "CheckpointStore",
+    "FitControls",
+    "FaultInjector",
+    "SimulatedCrash",
+    "inject",
+    "record_failpoints",
+    "EMPTY_CANDIDATE_SET",
+    "ALL_NAN_FEATURE_COLUMN",
+    "SINGULAR_COVARIANCE_FALLBACK",
+    "EM_NON_CONVERGENCE",
+    "EM_TIME_BUDGET_EXHAUSTED",
+    "EM_RESUMED_FROM_CHECKPOINT",
+    "ARTIFACT_IO_RETRIED",
+    "HealthFlag",
+    "HealthReport",
+    "active_health",
+    "health_scope",
+    "record_condition",
+]

@@ -1,0 +1,321 @@
+"""Crash-safe filesystem primitives: atomic writes, checksums, quarantine.
+
+Every durable artifact in this library (frozen models, EM checkpoints) goes
+through this module, which provides the classic write-ahead discipline:
+
+* **atomic file replace** — write to a temp sibling, ``fsync``, ``rename``
+  into place, ``fsync`` the parent directory. A reader sees the old bytes
+  or the new bytes, never a mix (:func:`atomic_write_bytes`).
+* **atomic directory publish** — stage a whole directory next to its final
+  name, fsync its contents, and publish it with one ``rename``
+  (:func:`atomic_directory`). Multi-file artifacts become visible all at
+  once or not at all.
+* **checksum manifests** — a ``checksums.json`` with one sha256 per file,
+  written at publish time and verified at load time
+  (:func:`write_checksum_manifest` / :func:`verify_checksum_manifest`), so
+  silent corruption is detected instead of deserialized.
+* **quarantine** — :func:`quarantine` renames a directory that failed
+  validation to ``<name>.corrupt`` (numbered on collision) so the evidence
+  survives while the caller recovers.
+* **bounded retry** — :func:`retry_io` retries transient ``OSError`` with
+  exponential backoff; deterministic failures propagate after the last
+  attempt.
+
+Failure-path hygiene: every temp entry carries the :data:`TMP_MARKER`
+infix, exception paths remove their own temp files (unless a simulated
+hard crash suppresses cleanup — see :mod:`repro.reliability.faultinject`),
+and :func:`cleanup_stale_tmp` sweeps leftovers from real crashes before the
+next write.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import itertools
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+from repro.reliability import faultinject
+
+__all__ = [
+    "TMP_MARKER",
+    "CHECKSUMS_NAME",
+    "IntegrityError",
+    "tmp_sibling",
+    "cleanup_stale_tmp",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "staged_write_bytes",
+    "atomic_directory",
+    "remove_tree",
+    "retry_io",
+    "sha256_file",
+    "write_checksum_manifest",
+    "verify_checksum_manifest",
+    "quarantine",
+]
+
+#: Infix marking in-flight temp files/directories; anything carrying it is
+#: garbage after a crash and is swept by :func:`cleanup_stale_tmp`.
+TMP_MARKER = ".tmp-"
+
+#: File name of the per-directory checksum manifest.
+CHECKSUMS_NAME = "checksums.json"
+
+_COUNTER = itertools.count()
+
+
+class IntegrityError(ValueError):
+    """A directory's contents do not match its checksum manifest."""
+
+    def __init__(self, message: str, *, path: Path | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+def tmp_sibling(path: Path) -> Path:
+    """A unique temp name next to ``path`` (same filesystem, so rename works)."""
+    return path.with_name(f"{path.name}{TMP_MARKER}{os.getpid()}-{next(_COUNTER)}")
+
+
+def cleanup_stale_tmp(root: Path) -> list[Path]:
+    """Remove leftover temp entries under ``root`` from crashed writers."""
+    root = Path(root)
+    removed = []
+    if not root.is_dir():
+        return removed
+    for entry in root.iterdir():
+        if TMP_MARKER in entry.name:
+            remove_tree(entry)
+            removed.append(entry)
+    return removed
+
+
+def remove_tree(path: Path) -> None:
+    """Best-effort removal of a file or directory tree."""
+    path = Path(path)
+    with contextlib.suppress(OSError):
+        if path.is_dir() and not path.is_symlink():
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink(missing_ok=True)
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    # Directory fsync is what makes a rename durable on POSIX; platforms
+    # that refuse to open directories (or fsync them) just skip it.
+    with contextlib.suppress(OSError):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def _write_halves(handle, data: bytes, failpoint: str) -> None:
+    """Write ``data`` in two halves with a failpoint between them.
+
+    The split is what lets the fault harness produce genuinely *partial*
+    files: crashing at the midpoint leaves half the payload on disk.
+    """
+    half = len(data) // 2
+    handle.write(data[:half])
+    faultinject.trip(failpoint)
+    handle.write(data[half:])
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data`` (temp + fsync + rename)."""
+    path = Path(path)
+    tmp = tmp_sibling(path)
+    faultinject.trip("atomic.file.open")
+    try:
+        with open(tmp, "wb") as handle:
+            _write_halves(handle, data, "atomic.file.mid_write")
+            handle.flush()
+            faultinject.trip("atomic.file.before_fsync")
+            os.fsync(handle.fileno())
+        faultinject.trip("atomic.file.before_rename")
+        os.replace(tmp, path)
+        faultinject.trip("atomic.file.after_rename")
+        _fsync_dir(path.parent)
+        return path
+    except BaseException:
+        if not faultinject.hard_crash_active():
+            remove_tree(tmp)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload) -> Path:
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def staged_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write a file inside a staging directory (not yet visible to readers).
+
+    No per-file atomicity is needed — the enclosing
+    :func:`atomic_directory` publish is the atomic step — but the write
+    still passes failpoints so the fault harness can interrupt it mid-file
+    and leave a truncated member behind in the staging area.
+    """
+    path = Path(path)
+    faultinject.trip("staged.file.open")
+    with open(path, "wb") as handle:
+        _write_halves(handle, data, "staged.file.mid_write")
+    return path
+
+
+@contextlib.contextmanager
+def atomic_directory(final: str | Path):
+    """Stage a directory and publish it to ``final`` with a single rename.
+
+    Yields the staging path; the caller fills it with files. On normal
+    exit every staged file is fsynced, the staging directory is renamed to
+    ``final`` (which must not already exist), and the parent directory is
+    fsynced. On exception the staging tree is removed — unless a simulated
+    hard crash is active, in which case it is left behind exactly as a dead
+    process would leave it (and swept by the next writer's
+    :func:`cleanup_stale_tmp`).
+    """
+    final = Path(final)
+    if final.exists():
+        raise FileExistsError(f"atomic_directory target already exists: {final}")
+    staging = tmp_sibling(final)
+    staging.mkdir(parents=True)
+    try:
+        yield staging
+        faultinject.trip("atomic.dir.before_sync")
+        for entry in sorted(staging.rglob("*")):
+            if entry.is_file():
+                _fsync_file(entry)
+        _fsync_dir(staging)
+        faultinject.trip("atomic.dir.before_publish")
+        os.replace(staging, final)
+        faultinject.trip("atomic.dir.after_publish")
+        _fsync_dir(final.parent)
+    except BaseException:
+        if not faultinject.hard_crash_active():
+            remove_tree(staging)
+        raise
+
+
+def retry_io(
+    fn,
+    *,
+    attempts: int = 3,
+    backoff_s: float = 0.01,
+    retry_on: tuple = (OSError,),
+    sleep=time.sleep,
+    on_retry=None,
+):
+    """Call ``fn()`` with bounded retry and exponential backoff.
+
+    Retries only the exception types in ``retry_on`` (transient I/O by
+    default); anything else — including a :class:`SimulatedCrash` — is
+    never retried. The last failure propagates unchanged. ``on_retry``,
+    if given, is called as ``on_retry(exc, attempt)`` before each backoff
+    sleep so callers can record that a transient failure was absorbed.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt + 1 >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            sleep(backoff_s * (2**attempt))
+
+
+def sha256_file(path: str | Path) -> str:
+    """Hex sha256 digest of a file, read in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_checksum_manifest(directory: str | Path) -> Path:
+    """Write ``checksums.json`` covering every other file in ``directory``."""
+    directory = Path(directory)
+    files = {
+        entry.name: sha256_file(entry)
+        for entry in sorted(directory.iterdir())
+        if entry.is_file() and entry.name != CHECKSUMS_NAME
+    }
+    payload = {"algorithm": "sha256", "files": files}
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return staged_write_bytes(directory / CHECKSUMS_NAME, data)
+
+
+def verify_checksum_manifest(directory: str | Path) -> None:
+    """Verify every file listed in ``checksums.json``; raise on any mismatch.
+
+    Raises :class:`IntegrityError` naming each missing or corrupt member.
+    A missing or unparseable manifest is itself an integrity failure — an
+    artifact published by the atomic writer always carries one.
+    """
+    directory = Path(directory)
+    manifest_path = directory / CHECKSUMS_NAME
+    try:
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        files = payload["files"]
+        if not isinstance(files, dict):
+            raise TypeError("'files' must be a dict")
+    except FileNotFoundError:
+        raise IntegrityError(
+            f"{directory} has no {CHECKSUMS_NAME}", path=directory
+        ) from None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise IntegrityError(
+            f"unreadable {CHECKSUMS_NAME} in {directory}: {exc}", path=directory
+        ) from exc
+    problems = []
+    for name, expected in sorted(files.items()):
+        member = directory / name
+        if not member.is_file():
+            problems.append(f"missing file {name!r}")
+        elif sha256_file(member) != expected:
+            problems.append(f"checksum mismatch for {name!r}")
+    if problems:
+        raise IntegrityError(
+            f"integrity check failed in {directory}: " + "; ".join(problems),
+            path=directory,
+        )
+
+
+def quarantine(path: str | Path) -> Path:
+    """Move a corrupt directory (or file) aside to ``<name>.corrupt``.
+
+    Keeps the evidence for postmortems while freeing the original name for
+    recovery. Numbered suffixes avoid collisions with earlier quarantines.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    n = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.corrupt-{n}")
+        n += 1
+    os.replace(path, target)
+    _fsync_dir(path.parent)
+    return target

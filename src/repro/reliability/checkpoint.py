@@ -1,0 +1,185 @@
+"""Resumable training state: atomic, checksummed EM checkpoints.
+
+A :class:`CheckpointStore` manages a directory of iteration-stamped
+checkpoints (``ckpt-000040/`` → ``state.json`` + ``arrays.npz`` +
+``checksums.json``), each published with the crash-safe directory writer —
+so a checkpoint either exists completely or not at all. :meth:`latest`
+walks backward through the stamps, quarantining any checkpoint that fails
+its checksum manifest (a crash can only have damaged the newest one) and
+returning the freshest valid state.
+
+:class:`FitControls` is the knob bundle the trainers
+(:meth:`repro.core.em.EMRunner.run`, :meth:`repro.core.linkage.ZeroERLinkage.fit`)
+accept: where to checkpoint, how often, whether to resume, and a wall-clock
+budget after which EM returns best-so-far parameters with
+``converged=False`` instead of running on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.reliability.atomic import (
+    IntegrityError,
+    atomic_directory,
+    cleanup_stale_tmp,
+    quarantine,
+    remove_tree,
+    staged_write_bytes,
+    verify_checksum_manifest,
+    write_checksum_manifest,
+)
+
+__all__ = ["CheckpointError", "CheckpointStore", "FitControls"]
+
+_STATE = "state.json"
+_ARRAYS = "arrays.npz"
+_NAME_RE = re.compile(r"^ckpt-(\d{6,})$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be read, or does not match the resuming fit."""
+
+    def __init__(self, message: str, *, path: Path | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointStore:
+    """A directory of crash-safe training checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the checkpoints (created on first save).
+    keep:
+        How many most-recent checkpoints to retain; older ones are pruned
+        after each successful save. At least 1.
+    """
+
+    def __init__(self, root: str | Path, keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.keep = int(keep)
+
+    # -- writing -----------------------------------------------------------------
+
+    def save(self, meta: dict, arrays: dict[str, np.ndarray]) -> Path:
+        """Atomically write one checkpoint; ``meta`` must carry ``iteration``.
+
+        Re-saving an iteration replaces its checkpoint. After publishing,
+        stale temp entries are swept and checkpoints beyond ``keep`` are
+        pruned (both best-effort — pruning failures never fail the save).
+        """
+        iteration = int(meta["iteration"])
+        self.root.mkdir(parents=True, exist_ok=True)
+        cleanup_stale_tmp(self.root)
+        final = self.root / f"ckpt-{iteration:06d}"
+        if final.exists():
+            remove_tree(final)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        with atomic_directory(final) as staging:
+            staged_write_bytes(
+                staging / _STATE,
+                (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+            )
+            staged_write_bytes(staging / _ARRAYS, buffer.getvalue())
+            write_checksum_manifest(staging)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        for path in self.paths()[: -self.keep]:
+            remove_tree(path)
+
+    # -- reading -----------------------------------------------------------------
+
+    def paths(self) -> list[Path]:
+        """Checkpoint directories, oldest first."""
+        if not self.root.is_dir():
+            return []
+        stamped = []
+        for entry in self.root.iterdir():
+            match = _NAME_RE.match(entry.name)
+            if match and entry.is_dir():
+                stamped.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(stamped)]
+
+    def latest(self) -> tuple[dict, dict[str, np.ndarray]] | None:
+        """The freshest valid ``(meta, arrays)``, or ``None`` if there is none.
+
+        Checkpoints that fail validation (truncated by a crash, corrupted
+        on disk) are quarantined to ``*.corrupt`` and the walk continues to
+        the next-older one — an interrupted checkpoint write never blocks
+        resumption from the previous good state.
+        """
+        for path in reversed(self.paths()):
+            try:
+                verify_checksum_manifest(path)
+                meta = json.loads((path / _STATE).read_text(encoding="utf-8"))
+                with np.load(path / _ARRAYS) as handle:
+                    arrays = dict(handle)
+                return meta, arrays
+            except (IntegrityError, OSError, ValueError, KeyError) as exc:
+                quarantined = quarantine(path)
+                import warnings
+
+                warnings.warn(
+                    f"quarantined corrupt checkpoint {path.name} -> "
+                    f"{quarantined.name}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return None
+
+    def clear(self) -> None:
+        """Remove every checkpoint (a completed fit consumes its trail)."""
+        for path in self.paths():
+            remove_tree(path)
+        cleanup_stale_tmp(self.root)
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+
+@dataclass
+class FitControls:
+    """Reliability knobs for a single EM fit.
+
+    Parameters
+    ----------
+    checkpoint:
+        Where to write (and resume from) training checkpoints; ``None``
+        disables checkpointing.
+    checkpoint_every:
+        Save a checkpoint every N iterations (a budget stop always saves
+        one regardless, so resumption never loses the stopping point).
+    resume:
+        Restore the latest valid checkpoint before iterating, if one
+        exists and matches the fit's fingerprint.
+    time_budget_s:
+        Wall-clock budget for the iteration loop; when exceeded, EM stops
+        after the current iteration and returns best-so-far parameters
+        with ``converged=False`` and a health flag.
+    """
+
+    checkpoint: CheckpointStore | None = None
+    checkpoint_every: int = 10
+    resume: bool = False
+    time_budget_s: float | None = None
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {self.checkpoint_every}")
+        if self.time_budget_s is not None and self.time_budget_s < 0:
+            raise ValueError(f"time_budget_s must be >= 0, got {self.time_budget_s}")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint store")

@@ -1,0 +1,186 @@
+"""Fault injection for the crash-safety test suite.
+
+The atomic-write primitives in :mod:`repro.reliability.atomic` call
+:func:`trip` at named *failpoints* — the instants where a real process can
+die or a real filesystem can fail (mid-write, before a rename, between a
+publish and its pointer swap). With no injector installed every failpoint
+is a no-op; under :func:`inject` an armed :class:`FaultInjector` raises at
+a chosen point, letting tests prove the crash-consistency invariant:
+
+    after a failure at *any* point during a save, a subsequent load yields
+    either the previous artifact or the new one, bit-identically — never a
+    third state.
+
+Two failure flavors:
+
+* :class:`SimulatedCrash` — models ``kill -9``. With ``hard=True`` the
+  atomic helpers also skip their ``finally`` cleanup (a dead process runs
+  no cleanup), so stale temp entries are left behind exactly as a real
+  crash leaves them.
+* any ``OSError`` — models transient I/O failure (disk full, EIO); these
+  are what :func:`repro.reliability.atomic.retry_io` retries.
+
+:func:`record_failpoints` runs a callable under a pass-through injector and
+returns every failpoint hit in order, so tests can enumerate the crash
+surface of an operation instead of hard-coding point names.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultInjector",
+    "inject",
+    "trip",
+    "active_injector",
+    "hard_crash_active",
+    "record_failpoints",
+    "truncate_file",
+    "flip_byte",
+]
+
+
+class SimulatedCrash(Exception):
+    """Raised at an armed failpoint to simulate a process dying mid-operation."""
+
+
+@dataclass
+class _Arm:
+    """One armed failure: fires when its countdown reaches zero."""
+
+    countdown: int
+    exc: BaseException | type[BaseException]
+
+    def fire(self, name: str) -> None:
+        exc = self.exc
+        if isinstance(exc, type):
+            exc = exc(f"injected failure at failpoint {name!r}")
+        raise exc
+
+
+@dataclass
+class FaultInjector:
+    """Deterministically fail at named failpoints (or at the N-th hit overall).
+
+    Parameters
+    ----------
+    hard:
+        Simulate a hard crash (``kill -9``): the atomic helpers skip their
+        exception-path cleanup, leaving temp files behind exactly as a dead
+        process would. Leave ``False`` to model an in-process exception,
+        where ``finally`` blocks do run.
+    """
+
+    hard: bool = False
+    #: Every failpoint hit, in order — also populated by a never-armed
+    #: injector, which is how :func:`record_failpoints` enumerates a flow.
+    hits: list[str] = field(default_factory=list)
+    _by_name: dict[str, _Arm] = field(default_factory=dict)
+    _by_index: dict[int, _Arm] = field(default_factory=dict)
+
+    def arm(
+        self,
+        name: str,
+        *,
+        after: int = 0,
+        exc: BaseException | type[BaseException] = SimulatedCrash,
+    ) -> "FaultInjector":
+        """Fail at the ``(after + 1)``-th hit of failpoint ``name``."""
+        self._by_name[name] = _Arm(countdown=after, exc=exc)
+        return self
+
+    def arm_hit(
+        self,
+        index: int,
+        *,
+        exc: BaseException | type[BaseException] = SimulatedCrash,
+    ) -> "FaultInjector":
+        """Fail at the ``index``-th failpoint hit overall (0-based).
+
+        This is the enumeration hook: pair it with the hit list returned by
+        :func:`record_failpoints` to crash an operation at every one of its
+        failpoints in turn.
+        """
+        self._by_index[int(index)] = _Arm(countdown=0, exc=exc)
+        return self
+
+    def trip(self, name: str) -> None:
+        """Record a failpoint hit and raise if an armed failure matches it."""
+        index = len(self.hits)
+        self.hits.append(name)
+        arm = self._by_index.get(index)
+        if arm is not None:
+            arm.fire(name)
+        arm = self._by_name.get(name)
+        if arm is not None:
+            if arm.countdown == 0:
+                del self._by_name[name]
+                arm.fire(name)
+            arm.countdown -= 1
+
+
+_CURRENT: contextvars.ContextVar[FaultInjector | None] = contextvars.ContextVar(
+    "repro_fault_injector", default=None
+)
+
+
+@contextlib.contextmanager
+def inject(injector: FaultInjector):
+    """Install ``injector`` as the active fault injector for the block."""
+    token = _CURRENT.set(injector)
+    try:
+        yield injector
+    finally:
+        _CURRENT.reset(token)
+
+
+def active_injector() -> FaultInjector | None:
+    return _CURRENT.get()
+
+
+def trip(name: str) -> None:
+    """Hit a failpoint: no-op unless a :class:`FaultInjector` is installed."""
+    injector = _CURRENT.get()
+    if injector is not None:
+        injector.trip(name)
+
+
+def hard_crash_active() -> bool:
+    """Whether cleanup paths should behave as if the process just died."""
+    injector = _CURRENT.get()
+    return injector is not None and injector.hard
+
+
+def record_failpoints(fn) -> list[str]:
+    """Run ``fn`` under a pass-through injector; return the failpoints it hit."""
+    injector = FaultInjector()
+    with inject(injector):
+        fn()
+    return list(injector.hits)
+
+
+# -- on-disk corruption helpers (for load-path tests) ---------------------------
+
+
+def truncate_file(path: str | Path, drop_bytes: int = 16) -> Path:
+    """Drop the last ``drop_bytes`` bytes of a file (a partial write)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(0, len(data) - drop_bytes)])
+    return path
+
+
+def flip_byte(path: str | Path, offset: int = -1) -> Path:
+    """XOR one byte of a file (silent media corruption)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path

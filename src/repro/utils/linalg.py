@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
+from repro.reliability.health import SINGULAR_COVARIANCE_FALLBACK, record_condition
+
 __all__ = ["robust_cholesky", "gaussian_logpdf", "correlation_from_covariance"]
 
 #: Jitter ladder tried, in order, when a Cholesky factorization fails.
@@ -36,9 +38,20 @@ def robust_cholesky(cov: np.ndarray) -> np.ndarray:
     eye = np.eye(cov.shape[0])
     for jitter in _JITTER_LADDER:
         try:
-            return scipy.linalg.cholesky(cov + jitter * scale * eye, lower=True)
+            factor = scipy.linalg.cholesky(cov + jitter * scale * eye, lower=True)
         except scipy.linalg.LinAlgError:
             continue
+        if jitter > 0.0:
+            # Plain Cholesky failed: the block is singular (rank-deficient
+            # features) and was rescued by diagonal jitter — a defined
+            # degradation, recorded for the run's health report.
+            record_condition(
+                SINGULAR_COVARIANCE_FALLBACK,
+                f"a covariance block required diagonal jitter {jitter:g} to "
+                "factorize (rank-deficient feature group)",
+                jitter=jitter,
+            )
+        return factor
     raise np.linalg.LinAlgError("covariance matrix could not be factorized even with jitter")
 
 

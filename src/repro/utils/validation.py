@@ -12,12 +12,29 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.reliability.health import ALL_NAN_FEATURE_COLUMN, record_condition
+
 __all__ = [
     "check_feature_matrix",
     "check_feature_groups",
     "check_posterior",
     "check_probability",
 ]
+
+
+def _feature_matrix_error(message: str):
+    # Imported lazily: repro.core imports this module at load time, so a
+    # top-level import of the exceptions module would be circular.
+    from repro.core.exceptions import FeatureMatrixError
+
+    return FeatureMatrixError(message)
+
+
+def _format_columns(columns: np.ndarray, limit: int = 8) -> str:
+    listed = ", ".join(str(int(j)) for j in columns[:limit])
+    if columns.size > limit:
+        listed += f", … ({columns.size} total)"
+    return listed
 
 
 def check_feature_matrix(X, *, allow_nan: bool = False, name: str = "X") -> np.ndarray:
@@ -43,8 +60,26 @@ def check_feature_matrix(X, *, allow_nan: bool = False, name: str = "X") -> np.n
         raise ValueError(f"{name} must contain at least one feature column")
     if not allow_nan and not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} contains NaN or infinite values; impute or clean first")
-    if allow_nan and np.any(np.isinf(arr)):
-        raise ValueError(f"{name} contains infinite values")
+    if allow_nan:
+        inf_columns = np.flatnonzero(np.isinf(arr).any(axis=0))
+        if inf_columns.size:
+            raise _feature_matrix_error(
+                f"{name} contains infinite values in feature column(s) "
+                f"{_format_columns(inf_columns)}; a similarity function is "
+                "overflowing — clean or clip these features before fitting"
+            )
+        # An all-NaN column (an attribute missing from every pair) carries no
+        # signal; it is imputed downstream, so fitting still succeeds — but
+        # record the degradation instead of letting it pass silently.
+        nan_columns = np.flatnonzero(np.all(np.isnan(arr), axis=0))
+        if nan_columns.size:
+            record_condition(
+                ALL_NAN_FEATURE_COLUMN,
+                f"{name} has all-NaN feature column(s) "
+                f"{_format_columns(nan_columns)}; they carry no signal and "
+                "were imputed to a constant",
+                columns=[int(j) for j in nan_columns],
+            )
     return arr
 
 

@@ -14,6 +14,30 @@ def rng():
 
 
 @pytest.fixture
+def fault_injector():
+    """A soft-crash :class:`FaultInjector` installed for the test.
+
+    Arm it (``fault_injector.arm(...)`` / ``arm_hit(...)``) and run the
+    operation under test; un-armed it just records every failpoint hit.
+    """
+    from repro.reliability import FaultInjector, inject
+
+    injector = FaultInjector()
+    with inject(injector):
+        yield injector
+
+
+@pytest.fixture
+def hard_fault_injector():
+    """Like ``fault_injector`` but modeling ``kill -9``: cleanup paths skipped."""
+    from repro.reliability import FaultInjector, inject
+
+    injector = FaultInjector(hard=True)
+    with inject(injector):
+        yield injector
+
+
+@pytest.fixture
 def separable_mixture(rng):
     """A tiny imbalanced two-class similarity-vector problem.
 

@@ -253,7 +253,9 @@ class TestProvenance:
         assert resolver.spec.output.threshold == 0.6
 
         path = resolver.save(tmp_path / "art")
-        manifest = json.loads((path / "manifest.json").read_text())
+        from repro.incremental.artifacts import artifact_dir
+
+        manifest = json.loads((artifact_dir(path) / "manifest.json").read_text())
         assert manifest["pipeline_spec"]["blocking"]["type"] == "token_overlap"
 
         loaded = IncrementalResolver.load(path)
@@ -321,10 +323,15 @@ class TestLoadTolerance:
         pipeline.run(merged)
         path = pipeline.freeze().save(tmp_path / "art")
 
-        manifest_path = path / "manifest.json"
+        from repro.incremental.artifacts import artifact_dir
+        from repro.reliability import write_checksum_manifest
+
+        version_dir = artifact_dir(path)
+        manifest_path = version_dir / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["pipeline_spec"]["version"] = 99  # a future spec schema
         manifest_path.write_text(json.dumps(manifest))
+        write_checksum_manifest(version_dir)  # re-sign the edited manifest
 
         with pytest.warns(RuntimeWarning, match="unreadable pipeline_spec"):
             loaded = IncrementalResolver.load(path)

@@ -10,6 +10,8 @@ from repro.blocking import TokenOverlapBlocker
 from repro.features import FeatureGenerator
 from repro.features.types import AttributeType
 from repro.incremental import ArtifactError, load_artifacts, save_artifacts
+from repro.incremental.artifacts import artifact_dir
+from repro.reliability import write_checksum_manifest
 from repro import ERPipeline
 
 
@@ -85,24 +87,33 @@ class TestArtifactValidation:
     def test_schema_version_mismatch(self, linkage_fit, tmp_path):
         pipeline, _ = linkage_fit
         path = save_artifacts(tmp_path / "art", pipeline.generator_, pipeline.model_)
-        manifest = json.loads((path / "manifest.json").read_text())
+        version_dir = artifact_dir(path)
+        manifest = json.loads((version_dir / "manifest.json").read_text())
         manifest["schema_version"] = 999
-        (path / "manifest.json").write_text(json.dumps(manifest))
+        (version_dir / "manifest.json").write_text(json.dumps(manifest))
+        # re-sign so the (valid) bytes pass integrity and hit the schema check
+        write_checksum_manifest(version_dir)
         with pytest.raises(ArtifactError, match="schema version"):
             load_artifacts(path)
+        # a schema mismatch is not corruption: the directory stays put
+        assert version_dir.is_dir()
 
     def test_missing_arrays_file(self, linkage_fit, tmp_path):
         pipeline, _ = linkage_fit
         path = save_artifacts(tmp_path / "art", pipeline.generator_, pipeline.model_)
-        (path / "arrays.npz").unlink()
+        version_dir = artifact_dir(path)
+        (version_dir / "arrays.npz").unlink()
+        write_checksum_manifest(version_dir)
         with pytest.raises(ArtifactError, match="arrays.npz"):
             load_artifacts(path)
 
     def test_unknown_model_kind(self, linkage_fit, tmp_path):
         pipeline, _ = linkage_fit
         path = save_artifacts(tmp_path / "art", pipeline.generator_, pipeline.model_)
-        manifest = json.loads((path / "manifest.json").read_text())
+        version_dir = artifact_dir(path)
+        manifest = json.loads((version_dir / "manifest.json").read_text())
         manifest["model"]["kind"] = "mystery"
-        (path / "manifest.json").write_text(json.dumps(manifest))
+        (version_dir / "manifest.json").write_text(json.dumps(manifest))
+        write_checksum_manifest(version_dir)
         with pytest.raises(ArtifactError, match="unknown model kind"):
             load_artifacts(path)

@@ -33,8 +33,13 @@ class TestFitResolveCLI:
              "--block-on", "name", "--artifacts", str(art)]
         )
         assert code == 0
-        assert (art / "manifest.json").is_file()
-        assert (art / "arrays.npz").is_file()
+        from repro.incremental.artifacts import artifact_dir
+
+        version_dir = artifact_dir(art)
+        assert (art / "CURRENT").is_file()
+        assert (version_dir / "manifest.json").is_file()
+        assert (version_dir / "arrays.npz").is_file()
+        assert (version_dir / "checksums.json").is_file()
 
     def test_resolve_assigns_and_updates_store(self, csv_world):
         art = csv_world / "art2"
@@ -146,7 +151,9 @@ class TestSpecCLI:
             ["fit", "--left", str(csv_world / "base.csv"),
              "--spec", str(spec_path), "--artifacts", str(art)]
         ) == 0
-        manifest = json.loads((art / "manifest.json").read_text())
+        from repro.incremental.artifacts import artifact_dir
+
+        manifest = json.loads((artifact_dir(art) / "manifest.json").read_text())
         assert manifest["pipeline_spec"]["blocking"]["attribute"] == "name"
 
     def test_spec_and_block_on_conflict(self, csv_world, capsys):

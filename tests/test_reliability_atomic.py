@@ -1,0 +1,242 @@
+"""Atomic-write primitives: replace semantics, checksums, retry, quarantine."""
+
+import json
+
+import pytest
+
+from repro.reliability import (
+    CHECKSUMS_NAME,
+    TMP_MARKER,
+    FaultInjector,
+    IntegrityError,
+    SimulatedCrash,
+    atomic_directory,
+    atomic_write_bytes,
+    atomic_write_json,
+    cleanup_stale_tmp,
+    inject,
+    quarantine,
+    retry_io,
+    sha256_file,
+    verify_checksum_manifest,
+    write_checksum_manifest,
+)
+from repro.reliability.atomic import tmp_sibling
+from repro.reliability.faultinject import flip_byte, record_failpoints, truncate_file
+
+
+def _tmp_entries(root):
+    return [p for p in root.rglob("*") if TMP_MARKER in p.name]
+
+
+class TestAtomicFileWrite:
+    def test_replaces_content(self, tmp_path):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, b"old-bytes")
+        atomic_write_bytes(target, b"new-bytes")
+        assert target.read_bytes() == b"new-bytes"
+        assert _tmp_entries(tmp_path) == []
+
+    def test_tmp_sibling_carries_marker(self, tmp_path):
+        sibling = tmp_sibling(tmp_path / "x.json")
+        assert TMP_MARKER in sibling.name
+        assert sibling.parent == tmp_path
+
+    @pytest.mark.parametrize(
+        "failpoint",
+        [
+            "atomic.file.open",
+            "atomic.file.mid_write",
+            "atomic.file.before_fsync",
+            "atomic.file.before_rename",
+        ],
+    )
+    def test_crash_before_rename_keeps_old_bytes(self, tmp_path, failpoint):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, b"old-bytes")
+        with inject(FaultInjector().arm(failpoint)):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(target, b"new-bytes")
+        assert target.read_bytes() == b"old-bytes"
+        # a soft crash (in-process exception) cleans its own temp file
+        assert _tmp_entries(tmp_path) == []
+
+    def test_crash_after_rename_has_new_bytes(self, tmp_path):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, b"old-bytes")
+        with inject(FaultInjector().arm("atomic.file.after_rename")):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(target, b"new-bytes")
+        assert target.read_bytes() == b"new-bytes"
+
+    def test_hard_crash_leaves_tmp_for_sweep(self, tmp_path, hard_fault_injector):
+        target = tmp_path / "data.bin"
+        hard_fault_injector.arm("atomic.file.mid_write")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"0123456789abcdef")
+        leftovers = _tmp_entries(tmp_path)
+        assert len(leftovers) == 1
+        # the partial write really is partial: half the payload
+        assert leftovers[0].read_bytes() == b"01234567"
+
+    def test_cleanup_stale_tmp_sweeps_leftovers(self, tmp_path):
+        (tmp_path / f"arrays.npz{TMP_MARKER}123-0").write_bytes(b"junk")
+        (tmp_path / f"v000001{TMP_MARKER}123-1").mkdir()
+        (tmp_path / "keep.txt").write_text("keep")
+        removed = cleanup_stale_tmp(tmp_path)
+        assert len(removed) == 2
+        assert _tmp_entries(tmp_path) == []
+        assert (tmp_path / "keep.txt").exists()
+
+    def test_atomic_write_json_round_trips(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"a": 1, "b": [1.5, None]})
+        assert json.loads(target.read_text()) == {"a": 1, "b": [1.5, None]}
+
+
+class TestAtomicDirectory:
+    def test_publishes_all_or_nothing(self, tmp_path):
+        final = tmp_path / "bundle"
+        with atomic_directory(final) as staging:
+            (staging / "a.txt").write_text("a")
+            (staging / "b.txt").write_text("b")
+            assert not final.exists()  # invisible until publish
+        assert (final / "a.txt").read_text() == "a"
+        assert (final / "b.txt").read_text() == "b"
+        assert _tmp_entries(tmp_path) == []
+
+    def test_refuses_existing_target(self, tmp_path):
+        final = tmp_path / "bundle"
+        final.mkdir()
+        with pytest.raises(FileExistsError):
+            with atomic_directory(final):
+                pass
+
+    def test_exception_removes_staging(self, tmp_path):
+        final = tmp_path / "bundle"
+        with pytest.raises(RuntimeError):
+            with atomic_directory(final) as staging:
+                (staging / "a.txt").write_text("a")
+                raise RuntimeError("boom")
+        assert not final.exists()
+        assert _tmp_entries(tmp_path) == []
+
+    def test_hard_crash_leaves_staging(self, tmp_path, hard_fault_injector):
+        final = tmp_path / "bundle"
+        hard_fault_injector.arm("atomic.dir.before_publish")
+        with pytest.raises(SimulatedCrash):
+            with atomic_directory(final) as staging:
+                (staging / "a.txt").write_text("a")
+        assert not final.exists()
+        assert len(_tmp_entries(tmp_path)) >= 1
+        cleanup_stale_tmp(tmp_path)
+        assert _tmp_entries(tmp_path) == []
+
+
+class TestRetryIO:
+    def test_transient_oserror_is_retried(self):
+        calls = []
+        retried = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = retry_io(
+            flaky, sleep=lambda _s: None, on_retry=lambda exc, n: retried.append(n)
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert retried == [0, 1]
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always_fails():
+            raise OSError("still broken")
+
+        with pytest.raises(OSError, match="still broken"):
+            retry_io(always_fails, attempts=3, sleep=lambda _s: None)
+
+    def test_simulated_crash_is_never_retried(self):
+        calls = []
+
+        def crashes():
+            calls.append(1)
+            raise SimulatedCrash("died")
+
+        with pytest.raises(SimulatedCrash):
+            retry_io(crashes, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            retry_io(lambda: None, attempts=0)
+
+
+class TestChecksumManifest:
+    @pytest.fixture
+    def signed_dir(self, tmp_path):
+        d = tmp_path / "artifact"
+        d.mkdir()
+        (d / "a.bin").write_bytes(b"payload-a")
+        (d / "b.json").write_text("{}")
+        write_checksum_manifest(d)
+        return d
+
+    def test_round_trip_verifies(self, signed_dir):
+        verify_checksum_manifest(signed_dir)  # does not raise
+        payload = json.loads((signed_dir / CHECKSUMS_NAME).read_text())
+        assert payload["algorithm"] == "sha256"
+        assert set(payload["files"]) == {"a.bin", "b.json"}
+        assert payload["files"]["a.bin"] == sha256_file(signed_dir / "a.bin")
+
+    def test_flipped_byte_is_detected(self, signed_dir):
+        flip_byte(signed_dir / "a.bin")
+        with pytest.raises(IntegrityError, match="a.bin"):
+            verify_checksum_manifest(signed_dir)
+
+    def test_truncated_member_is_detected(self, signed_dir):
+        truncate_file(signed_dir / "a.bin", drop_bytes=4)
+        with pytest.raises(IntegrityError, match="a.bin"):
+            verify_checksum_manifest(signed_dir)
+
+    def test_missing_member_is_detected(self, signed_dir):
+        (signed_dir / "b.json").unlink()
+        with pytest.raises(IntegrityError, match="missing file 'b.json'"):
+            verify_checksum_manifest(signed_dir)
+
+    def test_missing_manifest_is_an_integrity_failure(self, tmp_path):
+        d = tmp_path / "bare"
+        d.mkdir()
+        with pytest.raises(IntegrityError, match=CHECKSUMS_NAME):
+            verify_checksum_manifest(d)
+
+    def test_unparseable_manifest_is_an_integrity_failure(self, signed_dir):
+        (signed_dir / CHECKSUMS_NAME).write_text("not json {")
+        with pytest.raises(IntegrityError, match="unreadable"):
+            verify_checksum_manifest(signed_dir)
+
+
+class TestQuarantine:
+    def test_moves_aside_and_numbers_collisions(self, tmp_path):
+        for expected in ("bad.corrupt", "bad.corrupt-1", "bad.corrupt-2"):
+            victim = tmp_path / "bad"
+            victim.mkdir()
+            (victim / "evidence.txt").write_text("x")
+            moved = quarantine(victim)
+            assert moved.name == expected
+            assert not victim.exists()
+            assert (moved / "evidence.txt").exists()
+
+
+class TestFailpointEnumeration:
+    def test_record_failpoints_covers_the_file_writer(self, tmp_path):
+        hits = record_failpoints(lambda: atomic_write_bytes(tmp_path / "f", b"data"))
+        assert hits == [
+            "atomic.file.open",
+            "atomic.file.mid_write",
+            "atomic.file.before_fsync",
+            "atomic.file.before_rename",
+            "atomic.file.after_rename",
+        ]

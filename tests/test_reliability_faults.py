@@ -1,0 +1,338 @@
+"""Fault-injection suite: crashes during saves never produce a third state.
+
+The central property: enumerate every failpoint a ``save_artifacts`` call
+passes through, crash at each one in turn (both soft — in-process exception
+— and hard — ``kill -9``, no cleanup), and prove that a subsequent load
+always yields either the previous artifact or the new one, bit-identically,
+with its checksum manifest intact.
+"""
+
+import csv
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import ERPipeline, load_benchmark
+from repro.__main__ import main
+from repro.data.io import read_csv, write_csv
+from repro.blocking import TokenOverlapBlocker
+from repro.incremental import ArtifactError, load_artifacts, save_artifacts
+from repro.incremental.artifacts import artifact_dir
+from repro.reliability import (
+    TMP_MARKER,
+    FaultInjector,
+    SimulatedCrash,
+    inject,
+    record_failpoints,
+    verify_checksum_manifest,
+)
+from repro.reliability.faultinject import flip_byte, truncate_file
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A fitted (generator, model) pair to persist, plus its training table."""
+    ds = load_benchmark("rest_fz", scale="tiny", seed=7)
+    merged, _ = ds.as_dedup()
+    pipeline = ERPipeline(blocking_attribute="name")
+    pipeline.run(merged)
+    return pipeline.generator_, pipeline.model_, merged
+
+
+def _tmp_entries(root):
+    return [p for p in root.rglob("*") if TMP_MARKER in p.name]
+
+
+def _live_state(root):
+    """(manifest, arrays) of the live version — after verifying its checksums."""
+    directory = artifact_dir(root)
+    verify_checksum_manifest(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    with np.load(directory / "arrays.npz") as handle:
+        arrays = {name: array.copy() for name, array in handle.items()}
+    return manifest, arrays
+
+
+def _assert_state_equal(state, reference):
+    manifest, arrays = state
+    ref_manifest, ref_arrays = reference
+    assert manifest == ref_manifest
+    assert set(arrays) == set(ref_arrays)
+    for name in arrays:
+        np.testing.assert_array_equal(arrays[name], ref_arrays[name])
+
+
+class TestCrashConsistency:
+    def test_crash_at_every_failpoint_leaves_old_or_new(self, fitted, tmp_path):
+        generator, model, _table = fitted
+
+        # The "old" artifact every crashed save starts from.
+        base = tmp_path / "base"
+        save_artifacts(base, generator, model, extra={"tag": "old"})
+        old_state = _live_state(base)
+
+        # The "new" state an uninterrupted second save produces.
+        reference = tmp_path / "reference"
+        shutil.copytree(base, reference)
+        save_artifacts(reference, generator, model, extra={"tag": "new"})
+        new_state = _live_state(reference)
+        assert new_state[0] != old_state[0]
+
+        # Enumerate the crash surface of the second save.
+        probe = tmp_path / "probe"
+        shutil.copytree(base, probe)
+        failpoints = record_failpoints(
+            lambda: save_artifacts(probe, generator, model, extra={"tag": "new"})
+        )
+        assert len(failpoints) >= 10  # staged files + dir publish + pointer swap
+
+        for index, name in enumerate(failpoints):
+            for hard in (False, True):
+                label = f"failpoint #{index} {name!r} hard={hard}"
+                root = tmp_path / f"crash-{index}-{int(hard)}"
+                shutil.copytree(base, root)
+                injector = FaultInjector(hard=hard).arm_hit(index)
+                with inject(injector):
+                    with pytest.raises(SimulatedCrash):
+                        save_artifacts(root, generator, model, extra={"tag": "new"})
+
+                # The invariant: the live artifact is exactly old or exactly
+                # new — checksums verify, and the bytes match one reference.
+                state = _live_state(root)
+                tag = state[0]["extra"]["tag"]
+                assert tag in ("old", "new"), label
+                _assert_state_equal(state, old_state if tag == "old" else new_state)
+
+                if not hard:
+                    # in-process failures clean their own temp entries
+                    assert _tmp_entries(root) == [], label
+
+                # Recovery: the next save sweeps any hard-crash debris and
+                # commits normally.
+                save_artifacts(root, generator, model, extra={"tag": "recovered"})
+                assert _live_state(root)[0]["extra"]["tag"] == "recovered", label
+                assert _tmp_entries(root) == [], label
+
+    def test_first_save_crash_leaves_no_artifact_but_load_is_structured(
+        self, fitted, tmp_path
+    ):
+        generator, model, _table = fitted
+        root = tmp_path / "art"
+        with inject(FaultInjector(hard=True).arm("atomic.dir.before_publish")):
+            with pytest.raises(SimulatedCrash):
+                save_artifacts(root, generator, model)
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifacts(root)
+        assert excinfo.value.reason == "missing"
+        # and the root is recoverable: a clean save works
+        save_artifacts(root, generator, model)
+        load_artifacts(root)
+
+
+class TestTempFileHygiene:
+    def test_repeated_saves_leave_no_tmp_entries(self, fitted, tmp_path):
+        """Regression: no ``*.tmp-*`` leftovers accumulate across save cycles."""
+        generator, model, _table = fitted
+        root = tmp_path / "art"
+        for i in range(4):
+            save_artifacts(root, generator, model, extra={"cycle": i})
+            load_artifacts(root)
+            assert _tmp_entries(root) == []
+        # version pruning kept the directory bounded too
+        versions = [p for p in root.iterdir() if p.name.startswith("v")]
+        assert len(versions) == 2
+
+
+class TestCorruptArtifactLoads:
+    """Satellite (d): every corruption flavor → ArtifactError + quarantine."""
+
+    @pytest.fixture
+    def art(self, fitted, tmp_path):
+        generator, model, _table = fitted
+        root = tmp_path / "art"
+        save_artifacts(root, generator, model)
+        return root
+
+    def _assert_quarantined(self, excinfo, root):
+        err = excinfo.value
+        assert err.quarantined is not None
+        assert err.quarantined.exists()
+        assert ".corrupt" in err.quarantined.name
+        # the original version directory was moved aside
+        corpses = [p for p in root.iterdir() if ".corrupt" in p.name]
+        assert corpses
+
+    def test_truncated_npz(self, art):
+        truncate_file(artifact_dir(art) / "arrays.npz", drop_bytes=32)
+        with pytest.raises(ArtifactError, match="integrity") as excinfo:
+            load_artifacts(art)
+        assert excinfo.value.reason == "integrity"
+        self._assert_quarantined(excinfo, art)
+
+    def test_bitflipped_arrays(self, art):
+        flip_byte(artifact_dir(art) / "arrays.npz", offset=100)
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifacts(art)
+        assert excinfo.value.reason == "integrity"
+        self._assert_quarantined(excinfo, art)
+
+    def test_edited_manifest_json(self, art):
+        from repro.reliability import write_checksum_manifest
+
+        directory = artifact_dir(art)
+        (directory / "manifest.json").write_text("{ not json")
+        write_checksum_manifest(directory)  # checksums agree with the bad bytes
+        with pytest.raises(ArtifactError, match="unreadable artifact manifest") as excinfo:
+            load_artifacts(art)
+        assert excinfo.value.reason == "corrupt"
+        self._assert_quarantined(excinfo, art)
+
+    def test_missing_member(self, art):
+        (artifact_dir(art) / "arrays.npz").unlink()
+        with pytest.raises(ArtifactError, match="missing file") as excinfo:
+            load_artifacts(art)
+        assert excinfo.value.reason == "integrity"
+        self._assert_quarantined(excinfo, art)
+
+    def test_corrupt_checksum_manifest(self, art):
+        flip_byte(artifact_dir(art) / "checksums.json")
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifacts(art)
+        assert excinfo.value.reason == "integrity"
+        self._assert_quarantined(excinfo, art)
+
+    def test_quarantine_frees_the_slot_for_a_fresh_save(self, fitted, art):
+        generator, model, _table = fitted
+        flip_byte(artifact_dir(art) / "arrays.npz")
+        with pytest.raises(ArtifactError):
+            load_artifacts(art)
+        # the corrupt version is out of the way; saving publishes a new one
+        save_artifacts(art, generator, model, extra={"fresh": True})
+        manifest, _ = _live_state(art)
+        assert manifest["extra"] == {"fresh": True}
+
+
+class TestLegacyFlatLayout:
+    def test_flat_artifact_still_loads_and_never_quarantines(self, fitted, tmp_path):
+        generator, model, _table = fitted
+        versioned = tmp_path / "versioned"
+        save_artifacts(versioned, generator, model)
+        source = artifact_dir(versioned)
+
+        flat = tmp_path / "flat"
+        flat.mkdir()
+        shutil.copy(source / "manifest.json", flat / "manifest.json")
+        shutil.copy(source / "arrays.npz", flat / "arrays.npz")
+        # no checksums.json, no CURRENT: the pre-reliability layout
+        _generator, _model, manifest = load_artifacts(flat)
+        assert manifest["model"]["kind"] == "zeroer"
+
+        # structural corruption in a flat root raises (a flipped data byte
+        # would pass silently — flat artifacts predate checksums), but the
+        # root itself stays put: quarantine applies to versions only
+        truncate_file(flat / "arrays.npz", drop_bytes=200)
+        with pytest.raises(ArtifactError):
+            load_artifacts(flat)
+        assert (flat / "manifest.json").exists()
+        assert not list(tmp_path.glob("flat.corrupt*"))
+
+
+class TestCLIFitResume:
+    """Acceptance: ``fit --resume`` reproduces the uninterrupted fit to 1e-12."""
+
+    @pytest.fixture(scope="class")
+    def base_csv(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli_resume")
+        ds = load_benchmark("rest_fz", scale="tiny", seed=11)
+        merged, _ = ds.as_dedup()
+        path = tmp / "base.csv"
+        write_csv(merged, path)
+        return path
+
+    def test_resume_matches_uninterrupted_fit(self, base_csv, tmp_path, capsys):
+        art_full = tmp_path / "art_full"
+        art_resumed = tmp_path / "art_resumed"
+        fit = ["fit", "--left", str(base_csv), "--block-on", "name"]
+
+        assert main([*fit, "--artifacts", str(art_full)]) == 0
+
+        # interrupt: zero budget stops EM after one iteration, checkpointing
+        assert (
+            main(
+                [
+                    *fit,
+                    "--artifacts",
+                    str(art_resumed),
+                    "--checkpoint-every",
+                    "1",
+                    "--time-budget",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "interrupted before convergence" in out
+        ckpt_root = art_resumed / "checkpoints"
+        assert list(ckpt_root.glob("ckpt-*"))
+
+        assert main([*fit, "--artifacts", str(art_resumed), "--resume"]) == 0
+        # a converged fit consumes its checkpoint trail
+        assert not list(ckpt_root.glob("ckpt-*"))
+
+        _gen_a, model_a, _ = load_artifacts(art_full)
+        gen_b, model_b, _ = load_artifacts(art_resumed)
+        table = read_csv(base_csv, id_attr="id")
+        pairs = TokenOverlapBlocker("name", top_k=40).block(table)
+        X = gen_b.transform(table, None, pairs)
+        np.testing.assert_allclose(
+            model_a.predict_proba(X), model_b.predict_proba(X), rtol=0.0, atol=1e-12
+        )
+
+    def test_cli_failure_paths_exit_2_with_error_prefix(self, tmp_path, capsys):
+        """Satellite (a): CLI failures print ``error: ...`` and exit 2."""
+        missing = tmp_path / "nope.csv"
+        cases = [
+            ["fit", "--left", str(missing), "--block-on", "name",
+             "--artifacts", str(tmp_path / "a")],
+            ["fit", "--left", str(missing), "--block-on", "name",
+             "--artifacts", str(tmp_path / "a"), "--checkpoint-every", "-3"],
+            ["fit", "--left", str(missing), "--block-on", "name",
+             "--artifacts", str(tmp_path / "a"), "--time-budget", "-1"],
+            ["report", str(tmp_path / "not_an_artifact")],
+            ["resolve", "--artifacts", str(tmp_path / "not_an_artifact"),
+             "--records", str(missing)],
+        ]
+        for argv in cases:
+            assert main(argv) == 2, argv
+            err = capsys.readouterr().err
+            assert err.startswith("error: "), (argv, err)
+
+    def test_report_resolves_versioned_layout(self, base_csv, tmp_path, capsys):
+        art = tmp_path / "art_report"
+        assert (
+            main(
+                ["fit", "--left", str(base_csv), "--block-on", "name",
+                 "--artifacts", str(art)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", str(art)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "resolve"
+
+    def test_unreadable_csv_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        with open(bad, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["name", "city"])  # no id column
+            writer.writerow(["alice", "chicago"])
+        code = main(
+            ["fit", "--left", str(bad), "--block-on", "name",
+             "--artifacts", str(tmp_path / "a")]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
