@@ -1,0 +1,205 @@
+"""Serving-layer throughput: micro-batched concurrency vs sequential HTTP.
+
+The serving layer's claim is that coalescing concurrent ``/resolve``
+requests into single columnar engine passes buys real throughput over the
+one-record-per-round-trip pattern. This bench measures exactly that, over
+real sockets against a real frozen model: fit once on a pub_da base table,
+freeze, then stream the same arriving records through two fresh servers —
+first as **sequential** one-record HTTP resolves (the batcher never sees
+two requests at once), then as **concurrent** one-record resolves from many
+client threads (the batcher coalesces them into multi-record engine
+batches). Same records, same model, same wire format; the only variable is
+concurrency.
+
+Emits the printed table plus machine-readable ``BENCH_serve.json``. The
+acceptance floor checked here is the serving issue's: micro-batched
+concurrent throughput ≥ 3× sequential.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI run (tiny scale, fewer
+records, and a relaxed floor — CI machines make poor load generators).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from urllib.request import Request, urlopen
+
+from _bench_utils import bench_workload, emit, one_shot, write_bench_report
+
+from repro import ERPipeline
+from repro.blocking import TokenOverlapBlocker
+from repro.data import load_benchmark
+from repro.data.table import Table
+from repro.eval.harness import format_table
+from repro.serve import BackgroundServer, ServeApp
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+DATASET, SEED = "pub_da", 11
+SCALE = "tiny" if SMOKE else "paper"
+#: Arriving records resolved over HTTP in each scenario.
+N_RECORDS = 32 if SMOKE else 256
+#: Client threads in the concurrent scenario.
+CONCURRENCY = 8 if SMOKE else 32
+#: Acceptance floor on concurrent-vs-sequential throughput.
+MIN_SPEEDUP = 1.0 if SMOKE else 3.0
+
+
+def _resolve_one(base_url: str, record: dict) -> dict:
+    body = json.dumps({"records": [record]}).encode("utf-8")
+    request = Request(base_url + "/resolve", data=body, method="POST")
+    with urlopen(request, timeout=60) as response:
+        payload = json.loads(response.read())
+        if response.status != 200:  # pragma: no cover - bench guard
+            raise RuntimeError(f"resolve failed: {payload}")
+        return payload
+
+
+def _run_sequential(base_url: str, records: list) -> float:
+    started = time.perf_counter()
+    for record in records:
+        _resolve_one(base_url, record)
+    return time.perf_counter() - started
+
+
+def _run_concurrent(base_url: str, records: list, n_threads: int) -> float:
+    chunks = [records[i::n_threads] for i in range(n_threads)]
+    errors = []
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(chunk):
+        barrier.wait()
+        try:
+            for record in chunk:
+                _resolve_one(base_url, record)
+        except Exception as exc:  # pragma: no cover - bench guard
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
+    def run():
+        merged, _ = load_benchmark(DATASET, scale=SCALE, seed=SEED).as_dedup()
+        records = list(merged)
+        base = Table(records[:-N_RECORDS], attributes=merged.attributes)
+        arriving = records[-N_RECORDS:]
+
+        started = time.perf_counter()
+        pipeline = ERPipeline(
+            blocker=TokenOverlapBlocker("title", min_overlap=2, top_k=20)
+        )
+        pipeline.run(base)
+        fit_seconds = time.perf_counter() - started
+
+        workdir = Path(tempfile.mkdtemp(prefix="bench-serve-"))
+        try:
+            template = workdir / "template"
+            pipeline.freeze().save(template)
+
+            scenarios = {}
+            batch_stats = {}
+            for name, driver in (
+                ("sequential-http", lambda url: _run_sequential(url, arriving)),
+                (
+                    "micro-batched",
+                    lambda url: _run_concurrent(url, arriving, CONCURRENCY),
+                ),
+            ):
+                artifacts = workdir / name
+                shutil.copytree(template, artifacts)
+                app = ServeApp(artifacts, port=0, max_batch=64, max_wait_ms=10.0)
+                with BackgroundServer(app) as server:
+                    scenarios[name] = driver(server.base_url)
+                    snapshot = app.metrics.snapshot()
+                    batch_stats[name] = {
+                        "batches": int(snapshot["counters"].get("serve.batches", 0)),
+                        "resolved": int(
+                            snapshot["counters"].get("serve.resolved.records", 0)
+                        ),
+                    }
+            return scenarios, batch_stats, fit_seconds, len(base)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    scenarios, batch_stats, fit_seconds, base_n = one_shot(benchmark, run)
+
+    seq_seconds = scenarios["sequential-http"]
+    conc_seconds = scenarios["micro-batched"]
+    rows = [
+        bench_workload(
+            DATASET,
+            "sequential-http",
+            seq_seconds,
+            speedup=1.0,
+            records=N_RECORDS,
+            concurrency=1,
+            throughput_rps=round(N_RECORDS / seq_seconds, 1),
+            engine_batches=batch_stats["sequential-http"]["batches"],
+        ),
+        bench_workload(
+            DATASET,
+            "micro-batched",
+            conc_seconds,
+            baseline_engine="sequential-http",
+            baseline_seconds=seq_seconds,
+            records=N_RECORDS,
+            concurrency=CONCURRENCY,
+            throughput_rps=round(N_RECORDS / conc_seconds, 1),
+            engine_batches=batch_stats["micro-batched"]["batches"],
+        ),
+    ]
+
+    emit(capfd, "")
+    emit(capfd, format_table(
+        [
+            {
+                "scenario": w["engine"],
+                "concurrency": w["concurrency"],
+                "seconds": w["seconds"],
+                "throughput_rps": w["throughput_rps"],
+                "engine_batches": w["engine_batches"],
+                "speedup": w["speedup"],
+            }
+            for w in rows
+        ],
+        ["scenario", "concurrency", "seconds", "throughput_rps",
+         "engine_batches", "speedup"],
+        title=f"HTTP /resolve throughput ({DATASET}/{SCALE}, base={base_n}, "
+              f"{N_RECORDS} arriving records, fit {fit_seconds:.1f}s)",
+    ))
+    report_path = write_bench_report("serve", rows, meta={
+        "scale": SCALE,
+        "seed": SEED,
+        "base_records": base_n,
+        "arriving_records": N_RECORDS,
+        "concurrency": CONCURRENCY,
+        "max_batch": 64,
+        "max_wait_ms": 10.0,
+        "initial_fit_sec": round(fit_seconds, 4),
+    })
+    emit(capfd, f"report written to {report_path}")
+
+    # every record made it through both scenarios
+    assert batch_stats["sequential-http"]["resolved"] == N_RECORDS
+    assert batch_stats["micro-batched"]["resolved"] == N_RECORDS
+    # sequential one-record requests never coalesce: one engine pass each;
+    # concurrency must coalesce into strictly fewer passes
+    assert batch_stats["sequential-http"]["batches"] == N_RECORDS
+    assert batch_stats["micro-batched"]["batches"] < N_RECORDS
+    # the issue's acceptance floor: >= 3x throughput from micro-batching
+    assert rows[1]["speedup"] >= MIN_SPEEDUP, rows[1]

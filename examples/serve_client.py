@@ -1,0 +1,141 @@
+"""Resolution-as-a-service, end to end, over real sockets.
+
+Fits the batch pipeline on an initial dirty table, freezes it into
+artifacts, starts the HTTP serving layer in-process (ephemeral port, same
+code path as ``python -m repro serve``), and then acts as a client with
+nothing but the standard library: resolve arriving records concurrently
+(watching them coalesce into micro-batches), look up the clusters they
+joined, ask the model to explain a score, and finally save + hot-reload a
+new artifact version — with the service running throughout.
+
+Run:  python examples/serve_client.py
+"""
+
+import json
+import tempfile
+import threading
+from pathlib import Path
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro import ERPipeline, load_benchmark
+from repro.data.table import Table
+from repro.serve import BackgroundServer, ServeApp
+
+
+def call(base_url: str, path: str, method: str = "GET", body: dict | None = None):
+    """One JSON round trip; protocol errors come back as (status, envelope)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = Request(base_url + path, data=data, method=method)
+    try:
+        with urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> None:
+    # 1. Fit once on an initial dirty table, holding records back to arrive
+    #    later as traffic; freeze into an artifact directory.
+    merged, _ = load_benchmark("rest_fz", scale="small").as_dedup()
+    records = list(merged)
+    base = Table(records[:-12], attributes=merged.attributes)
+    arriving = records[-12:]
+
+    pipeline = ERPipeline(blocking_attribute="name")
+    pipeline.run(base)
+    artifacts = Path(tempfile.mkdtemp()) / "artifacts"
+    pipeline.freeze().save(artifacts)
+    print(f"fitted on {len(base)} records, artifacts at {artifacts}")
+
+    # 2. Serve them. BackgroundServer runs the same ServeApp the CLI runs,
+    #    on a daemon thread with an ephemeral port.
+    app = ServeApp(artifacts, port=0, max_wait_ms=25.0)
+    with BackgroundServer(app) as server:
+        base_url = server.base_url
+        status, health = call(base_url, "/healthz")
+        print(
+            f"serving {health['artifact_version']} on {base_url} "
+            f"({health['store']['records']} records, "
+            f"{health['store']['entities']} entities)"
+        )
+
+        # 3. Concurrent clients: each thread posts one record; the server
+        #    coalesces whatever arrives within max_wait_ms into one engine
+        #    pass, and each response reports the batch it rode in.
+        responses = {}
+
+        def resolve_one(record):
+            responses[record["id"]] = call(
+                base_url, "/resolve", "POST", {"records": [record]}
+            )
+
+        threads = [
+            threading.Thread(target=resolve_one, args=(record,))
+            for record in arriving
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        batches = {response[1]["batch"]["requests"] for response in responses.values()}
+        print(
+            f"\nresolved {len(responses)} records from {len(threads)} concurrent "
+            f"clients; co-batched request counts seen: {sorted(batches)}"
+        )
+
+        # 4. Follow one record into its cluster.
+        record_id, (status, payload) = next(iter(sorted(responses.items())))
+        entity_id = payload["assignments"][record_id]
+        status, cluster = call(base_url, f"/lookup/{entity_id}")
+        print(
+            f"{record_id} -> {entity_id}: cluster of {len(cluster['members'])} "
+            f"({', '.join(sorted(cluster['members']))})"
+        )
+
+        # 5. Ask the frozen model to explain a scored pair, if the resolved
+        #    record matched an existing one.
+        if payload["matches"]:
+            left = payload["matches"][0]["left"]
+            status, explained = call(
+                base_url, f"/explain?left={left}&right={record_id}&top=2"
+            )
+            print(
+                f"explain({left}, {record_id}): posterior "
+                f"{explained['posterior']:.4f}, top contributions "
+                + ", ".join(
+                    f"group {c['group']} "
+                    f"{'+' if c['favors_match'] else '-'}"
+                    f"{abs(c['log_likelihood_ratio']):.2f}"
+                    for c in explained["contributions"]
+                )
+            )
+
+        # 6. Protocol errors are structured, never tracebacks.
+        status, envelope = call(
+            base_url, "/resolve", "POST", {"records": [{"id": record_id}]}
+        )
+        print(f"re-resolving {record_id}: {status} {envelope['error']!r}")
+
+        # 7. Persist the served store as a new artifact version, then
+        #    hot-reload onto it — zero downtime, in-flight requests safe.
+        status, saved = call(base_url, "/admin/save", "POST")
+        status, reloaded = call(base_url, "/admin/reload", "POST")
+        print(
+            f"\nsaved {saved['saved_version']}, reloaded "
+            f"{reloaded['previous_version']} -> {reloaded['version']} "
+            f"({reloaded['store_records']} records now durable)"
+        )
+
+        status, metrics = call(base_url, "/metrics")
+        counters = metrics["metrics"]["counters"]
+        print(
+            f"served {counters['serve.requests']:.0f} requests in "
+            f"{counters['serve.batches']:.0f} engine batches "
+            f"({counters['serve.resolved.records']:.0f} records resolved)"
+        )
+
+
+if __name__ == "__main__":
+    main()

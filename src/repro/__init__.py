@@ -22,6 +22,7 @@ functions), :mod:`repro.features` (Magellan-style feature generation),
 :mod:`repro.blocking`, :mod:`repro.data` (tables + benchmark generators),
 :mod:`repro.baselines`, :mod:`repro.eval` (metrics + experiment harness),
 :mod:`repro.incremental` (frozen-model artifacts + streaming resolution),
+:mod:`repro.serve` (the async HTTP serving layer over frozen artifacts),
 and :mod:`repro.api` (the pipeline/session/spec layer re-exported here).
 """
 
@@ -38,6 +39,7 @@ from repro.api import (
     OutputSpec,
     PipelineSpec,
     ResolutionSession,
+    ServeSpec,
     SpecError,
     TelemetrySpec,
     configure_telemetry,
@@ -95,6 +97,7 @@ __all__ = [
     "ModelSpec",
     "OutputSpec",
     "TelemetrySpec",
+    "ServeSpec",
     "SpecError",
     "SPEC_VERSION",
     # observability

@@ -1,6 +1,7 @@
 """Command-line entity resolution: ``python -m repro``.
 
-Four subcommands cover the batch, incremental, and declarative workflows:
+The subcommands cover the batch, incremental, serving, and declarative
+workflows:
 
 ``run``
     The full unsupervised batch pipeline on CSV inputs, scored matches to a
@@ -33,6 +34,13 @@ Four subcommands cover the batch, incremental, and declarative workflows:
     store and artifacts are updated in place::
 
         python -m repro resolve --artifacts art/ --records new.csv -o assignments.csv
+
+``serve``
+    Long-running HTTP service over saved artifacts: resolve, lookup, and
+    explain over the network with micro-batched request handling and
+    zero-downtime hot reload (see ``docs/serving.md``)::
+
+        python -m repro serve --artifacts art/ --port 8707
 
 ``spec``
     Scaffold declarative pipeline spec files for ``--spec``::
@@ -78,7 +86,7 @@ from repro.reliability import CheckpointError, CheckpointStore, FitControls
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "fit", "resolve", "spec", "report")
+_SUBCOMMANDS = ("run", "fit", "resolve", "serve", "spec", "report")
 
 
 class _CliError(Exception):
@@ -225,6 +233,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_argument(resolve)
     resolve.set_defaults(func=_cmd_resolve)
+
+    serve = sub.add_parser(
+        "serve", help="serve resolve/lookup/explain over HTTP from saved artifacts"
+    )
+    serve.add_argument(
+        "--artifacts", required=True, help="artifact directory written by fit"
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="interface to bind (default: 127.0.0.1, or the artifact spec's value)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port; 0 binds an ephemeral port (default: 8707)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="records per micro-batch handed to the engine (default: 64)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="how long the first queued request waits for co-batchable "
+        "traffic (default: 10)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="print the run report embedded in an artifact directory"
@@ -520,6 +562,29 @@ def _cmd_resolve(args) -> int:
         f"{resolver.store.n_entities} entities"
     )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.incremental import ArtifactError
+    from repro.serve import run_serve
+
+    if args.port is not None and not 0 <= args.port <= 65535:
+        return _fail(f"--port must be in [0, 65535], got {args.port}")
+    if args.max_batch is not None and args.max_batch < 1:
+        return _fail(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_wait_ms is not None and args.max_wait_ms < 0:
+        return _fail(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
+    try:
+        return run_serve(
+            args.artifacts,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except (ArtifactError, OSError) as exc:
+        # missing/corrupt artifacts, or the port is taken
+        return _fail(exc)
 
 
 def _cmd_report(args) -> int:

@@ -24,6 +24,7 @@ from repro.api.spec import (
     ModelSpec,
     OutputSpec,
     PipelineSpec,
+    ServeSpec,
     SpecError,
     TelemetrySpec,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "ModelSpec",
     "OutputSpec",
     "TelemetrySpec",
+    "ServeSpec",
     "SpecError",
     "SPEC_VERSION",
     "resolve",

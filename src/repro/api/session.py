@@ -103,6 +103,7 @@ class FeatureMatrix:
 
     @property
     def shape(self) -> tuple:
+        """``(n_pairs, n_features)`` of :attr:`X`."""
         return self.X.shape
 
     def column(self, name: str) -> np.ndarray:
@@ -136,27 +137,34 @@ class MatchSet:
 
     @property
     def pairs(self) -> list[tuple]:
+        """Scored candidate pairs, in blocking order."""
         return self.result.pairs
 
     @property
     def scores(self) -> np.ndarray:
+        """Match probability γ per pair, aligned with :attr:`pairs`."""
         return self.result.scores
 
     @property
     def labels(self) -> np.ndarray:
+        """0/1 match labels per pair (γ thresholded at 0.5)."""
         return self.result.labels
 
     @property
     def matches(self) -> list[tuple]:
+        """``(left_id, right_id, score)`` triples for the predicted matches."""
         return self.result.matches
 
     def top_matches(self, k: int = 10) -> list[tuple]:
+        """The ``k`` highest-scoring matches (see :meth:`ERResult.top_matches`)."""
         return self.result.top_matches(k)
 
     def to_frame(self, threshold: float = 0.5, one_to_one: bool = False) -> list[dict]:
+        """Matches above ``threshold`` as a list of row dicts."""
         return self.result.to_frame(threshold=threshold, one_to_one=one_to_one)
 
     def to_csv(self, path, threshold: float = 0.5, one_to_one: bool = False):
+        """Write the matches above ``threshold`` to ``path`` as CSV."""
         return self.result.to_csv(path, threshold=threshold, one_to_one=one_to_one)
 
     def to_result(self) -> ERResult:

@@ -41,6 +41,7 @@ __all__ = [
     "ModelSpec",
     "OutputSpec",
     "TelemetrySpec",
+    "ServeSpec",
     "PipelineSpec",
 ]
 
@@ -87,10 +88,12 @@ class BlockingSpec:
         return build_blocker({"type": self.type, **self.options})
 
     def to_dict(self) -> dict:
+        """The JSON-serializable form: ``type`` plus the flattened options."""
         return {"type": self.type, **self.options}
 
     @classmethod
     def from_dict(cls, data: dict) -> "BlockingSpec":
+        """Validate a ``blocking`` payload into a :class:`BlockingSpec`."""
         if not isinstance(data, dict):
             raise SpecError(f"blocking spec must be a dict, got {type(data).__name__}")
         if "type" not in data:
@@ -144,10 +147,12 @@ class FeatureSpec:
         return {a: AttributeType(v) for a, v in self.type_overrides.items()}
 
     def to_dict(self) -> dict:
+        """The JSON-serializable form of this features section."""
         return {"engine": self.engine, "type_overrides": dict(self.type_overrides)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "FeatureSpec":
+        """Validate a ``features`` payload into a :class:`FeatureSpec`."""
         _require_keys(data, ("engine", "type_overrides"), "features")
         overrides = data.get("type_overrides") or {}
         if not isinstance(overrides, dict):
@@ -194,6 +199,7 @@ class ModelSpec:
                 )
 
     def to_dict(self) -> dict:
+        """The JSON-serializable form of this model section."""
         return {
             "config": self.config.to_dict(),
             "co_candidate_cap": self.co_candidate_cap,
@@ -202,6 +208,7 @@ class ModelSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModelSpec":
+        """Validate a ``model`` payload into a :class:`ModelSpec`."""
         _require_keys(data, ("config", "co_candidate_cap", "time_budget_s"), "model")
         try:
             config = ZeroERConfig.from_dict(data.get("config") or {})
@@ -232,10 +239,12 @@ class OutputSpec:
             raise SpecError(f"one_to_one must be a bool, got {self.one_to_one!r}")
 
     def to_dict(self) -> dict:
+        """The JSON-serializable form of this output section."""
         return {"threshold": self.threshold, "one_to_one": self.one_to_one}
 
     @classmethod
     def from_dict(cls, data: dict) -> "OutputSpec":
+        """Validate an ``output`` payload into an :class:`OutputSpec`."""
         _require_keys(data, ("threshold", "one_to_one"), "output")
         return cls(
             threshold=data.get("threshold", 0.5),
@@ -286,12 +295,77 @@ class TelemetrySpec:
         return configure_telemetry(self.sink, path=self.path)
 
     def to_dict(self) -> dict:
+        """The JSON-serializable form of this telemetry section."""
         return {"sink": self.sink, "path": self.path}
 
     @classmethod
     def from_dict(cls, data: dict) -> "TelemetrySpec":
+        """Validate a ``telemetry`` payload into a :class:`TelemetrySpec`."""
         _require_keys(data, ("sink", "path"), "telemetry")
         return cls(sink=data.get("sink", "none"), path=data.get("path"))
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Declarative serving configuration for ``python -m repro serve``.
+
+    Embedded (optionally) as the ``serve`` section of a
+    :class:`PipelineSpec`, so frozen artifacts can carry their preferred
+    serving posture; CLI flags override any field at launch.
+    """
+
+    #: Interface to bind (loopback by default — put a proxy in front for
+    #: anything external).
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (tests and benchmarks).
+    port: int = 8707
+    #: Record budget per micro-batch handed to the columnar engine.
+    max_batch: int = 64
+    #: Milliseconds the first queued request waits for co-batchable
+    #: traffic; ``0`` coalesces only already-queued requests.
+    max_wait_ms: float = 10.0
+
+    def __post_init__(self):
+        if not isinstance(self.host, str) or not self.host:
+            raise SpecError(f"host must be a non-empty string, got {self.host!r}")
+        if not isinstance(self.port, int) or isinstance(self.port, bool):
+            raise SpecError(f"port must be an int, got {self.port!r}")
+        if not 0 <= self.port <= 65535:
+            raise SpecError(f"port must be in [0, 65535], got {self.port}")
+        if not isinstance(self.max_batch, int) or isinstance(self.max_batch, bool):
+            raise SpecError(f"max_batch must be an int, got {self.max_batch!r}")
+        if self.max_batch < 1:
+            raise SpecError(f"max_batch must be >= 1, got {self.max_batch}")
+        if (
+            not isinstance(self.max_wait_ms, (int, float))
+            or isinstance(self.max_wait_ms, bool)
+            or self.max_wait_ms < 0
+        ):
+            raise SpecError(f"max_wait_ms must be a number >= 0, got {self.max_wait_ms!r}")
+
+    def replace(self, **changes) -> "ServeSpec":
+        """A copy with the given fields replaced (CLI-flag overrides)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """The JSON-serializable form of this serve section."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSpec":
+        """Validate a ``serve`` payload into a :class:`ServeSpec`."""
+        _require_keys(data, ("host", "port", "max_batch", "max_wait_ms"), "serve")
+        return cls(
+            host=data.get("host", "127.0.0.1"),
+            port=data.get("port", 8707),
+            max_batch=data.get("max_batch", 64),
+            max_wait_ms=data.get("max_wait_ms", 10.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -303,6 +377,9 @@ class PipelineSpec:
     model: ModelSpec = field(default_factory=ModelSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    #: Optional serving posture (``None`` — the common case for specs that
+    #: never get served — serializes as an absent ``serve`` section).
+    serve: ServeSpec | None = None
     version: int = SPEC_VERSION
 
     def __post_init__(self):
@@ -323,6 +400,10 @@ class PipelineSpec:
                 raise SpecError(
                     f"{name} must be a {expected.__name__}, got {type(value).__name__}"
                 )
+        if self.serve is not None and not isinstance(self.serve, ServeSpec):
+            raise SpecError(
+                f"serve must be a ServeSpec or None, got {type(self.serve).__name__}"
+            )
 
     # -- construction ------------------------------------------------------------
 
@@ -388,7 +469,8 @@ class PipelineSpec:
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        """The full JSON document (the ``serve`` key only when configured)."""
+        out = {
             "version": self.version,
             "blocking": self.blocking.to_dict(),
             "features": self.features.to_dict(),
@@ -396,12 +478,16 @@ class PipelineSpec:
             "output": self.output.to_dict(),
             "telemetry": self.telemetry.to_dict(),
         }
+        if self.serve is not None:
+            out["serve"] = self.serve.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineSpec":
+        """Validate a full spec document; every section validates eagerly."""
         _require_keys(
             data,
-            ("version", "blocking", "features", "model", "output", "telemetry"),
+            ("version", "blocking", "features", "model", "output", "telemetry", "serve"),
             "pipeline",
         )
         if "blocking" not in data:
@@ -409,12 +495,14 @@ class PipelineSpec:
         version = data.get("version", SPEC_VERSION)
         if not isinstance(version, int):
             raise SpecError(f"version must be an int, got {version!r}")
+        serve_payload = data.get("serve")
         return cls(
             blocking=BlockingSpec.from_dict(data["blocking"]),
             features=FeatureSpec.from_dict(data.get("features") or {}),
             model=ModelSpec.from_dict(data.get("model") or {}),
             output=OutputSpec.from_dict(data.get("output") or {}),
             telemetry=TelemetrySpec.from_dict(data.get("telemetry") or {}),
+            serve=None if serve_payload is None else ServeSpec.from_dict(serve_payload),
             version=version,
         )
 
@@ -424,6 +512,7 @@ class PipelineSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "PipelineSpec":
+        """Parse and validate a JSON spec document."""
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:

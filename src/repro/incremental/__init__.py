@@ -30,7 +30,7 @@ from repro.incremental.artifacts import (
 )
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.resolver import IncrementalResolver, ResolveResult
-from repro.incremental.store import EntityStore
+from repro.incremental.store import EntityStore, StoreSnapshot
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -39,6 +39,7 @@ __all__ = [
     "load_artifacts",
     "IncrementalTokenIndex",
     "EntityStore",
+    "StoreSnapshot",
     "IncrementalResolver",
     "ResolveResult",
 ]

@@ -6,15 +6,50 @@ each cluster carries a *stable* entity id: the id is assigned when a record
 first arrives, and a merge always keeps the older of the two entity ids, so
 an entity's id never changes as more duplicates of it stream in — only
 younger ids disappear into older ones.
+
+The store is safe to share between one writer and many readers (the
+serving layer's single-writer/snapshot-reader contract): every mutating
+*and* reading method takes an internal re-entrant lock — reads need it too
+because ``entity_of`` path-compresses parent pointers — and
+:meth:`EntityStore.snapshot` materializes a consistent, immutable
+:class:`StoreSnapshot` of the whole partition in one critical section, so a
+reader never observes a merge half-applied.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
+from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.data.table import Table
 
-__all__ = ["EntityStore"]
+__all__ = ["EntityStore", "StoreSnapshot"]
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """An immutable, internally consistent view of one instant of a store.
+
+    Produced by :meth:`EntityStore.snapshot` under the store lock: the
+    entity partition, the per-record assignments derived from it, and the
+    counts all describe the same moment — no merge is ever visible in one
+    field but not another.
+    """
+
+    #: Records registered at snapshot time.
+    n_records: int
+    #: Clusters at snapshot time (``== len(entities)``).
+    n_entities: int
+    #: ``{entity_id: (record_ids, ...)}``, members in insertion order.
+    entities: MappingProxyType
+    #: ``{record_id: entity_id}`` for every registered record.
+    assignments: MappingProxyType
+
+    def entity_of(self, record_id) -> str:
+        """Entity id of ``record_id`` at snapshot time (``KeyError`` if absent)."""
+        return self.assignments[record_id]
 
 
 class EntityStore:
@@ -35,20 +70,24 @@ class EntityStore:
         self._rank: dict = {}             # union-by-rank
         self._entity_ord: dict = {}       # root rid -> entity creation counter
         self._next_ord = 0
+        # Guards every read and write: path compression means even lookups
+        # mutate the parent pointers, so readers must exclude the writer.
+        self._lock = threading.RLock()
 
     # -- growth ----------------------------------------------------------------
 
     def add(self, record: dict) -> str:
         """Register one record as a fresh singleton entity; returns its entity id."""
         rid = record[self.id_attr]
-        if rid in self._records:
-            raise ValueError(f"record id {rid!r} is already in the store")
-        self._records[rid] = dict(record)
-        self._parent[rid] = rid
-        self._rank[rid] = 0
-        self._entity_ord[rid] = self._next_ord
-        self._next_ord += 1
-        return self._entity_label(self._next_ord - 1)
+        with self._lock:
+            if rid in self._records:
+                raise ValueError(f"record id {rid!r} is already in the store")
+            self._records[rid] = dict(record)
+            self._parent[rid] = rid
+            self._rank[rid] = 0
+            self._entity_ord[rid] = self._next_ord
+            self._next_ord += 1
+            return self._entity_label(self._next_ord - 1)
 
     def add_records(self, records: Iterable[dict] | Table) -> list[str]:
         """Register many records; returns their (singleton) entity ids."""
@@ -72,18 +111,19 @@ class EntityStore:
         entity id is the *older* of the two clusters' ids, keeping entity
         ids stable as evidence accumulates.
         """
-        ra, rb = self._find(a_id), self._find(b_id)
-        if ra == rb:
-            return self._entity_label(self._entity_ord[ra])
-        keep_ord = min(self._entity_ord[ra], self._entity_ord[rb])
-        if self._rank[ra] < self._rank[rb]:
-            ra, rb = rb, ra
-        self._parent[rb] = ra
-        if self._rank[ra] == self._rank[rb]:
-            self._rank[ra] += 1
-        self._entity_ord[ra] = keep_ord
-        del self._entity_ord[rb]
-        return self._entity_label(keep_ord)
+        with self._lock:
+            ra, rb = self._find(a_id), self._find(b_id)
+            if ra == rb:
+                return self._entity_label(self._entity_ord[ra])
+            keep_ord = min(self._entity_ord[ra], self._entity_ord[rb])
+            if self._rank[ra] < self._rank[rb]:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+            if self._rank[ra] == self._rank[rb]:
+                self._rank[ra] += 1
+            self._entity_ord[ra] = keep_ord
+            del self._entity_ord[rb]
+            return self._entity_label(keep_ord)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -93,7 +133,8 @@ class EntityStore:
 
     def entity_of(self, record_id) -> str:
         """Stable entity id of the cluster containing ``record_id``."""
-        return self._entity_label(self._entity_ord[self._find(record_id)])
+        with self._lock:
+            return self._entity_label(self._entity_ord[self._find(record_id)])
 
     def members(self, entity_id: str) -> list:
         """Record ids in one entity's cluster (insertion order)."""
@@ -101,10 +142,31 @@ class EntityStore:
 
     def entities(self) -> dict[str, list]:
         """``{entity_id: [record_ids]}`` for every cluster, insertion-ordered."""
-        out: dict[str, list] = {}
-        for rid in self._records:
-            out.setdefault(self.entity_of(rid), []).append(rid)
-        return out
+        with self._lock:
+            out: dict[str, list] = {}
+            for rid in self._records:
+                out.setdefault(self.entity_of(rid), []).append(rid)
+            return out
+
+    def snapshot(self) -> StoreSnapshot:
+        """A consistent, immutable view of the current partition.
+
+        Built in one critical section, so a concurrent writer's merges are
+        either fully reflected or not at all — never torn across the
+        snapshot's fields. This is the read primitive the serving layer's
+        lookup/health endpoints use against the live single-writer store.
+        """
+        with self._lock:
+            entities = {eid: tuple(m) for eid, m in self.entities().items()}
+            assignments = {
+                rid: eid for eid, members in entities.items() for rid in members
+            }
+            return StoreSnapshot(
+                n_records=len(self._records),
+                n_entities=len(self._entity_ord),
+                entities=MappingProxyType(entities),
+                assignments=MappingProxyType(assignments),
+            )
 
     def clusters(self) -> list[frozenset]:
         """The record-id partition as frozensets (for comparing resolutions)."""
@@ -112,11 +174,13 @@ class EntityStore:
 
     def get(self, record_id) -> dict:
         """Record with the given id; raises ``KeyError`` if absent."""
-        return self._records[record_id]
+        with self._lock:
+            return self._records[record_id]
 
     def records(self) -> list[dict]:
         """All records in insertion order."""
-        return list(self._records.values())
+        with self._lock:
+            return list(self._records.values())
 
     def __len__(self) -> int:
         return len(self._records)
@@ -135,12 +199,13 @@ class EntityStore:
 
     def to_state(self) -> dict:
         """JSON-serializable snapshot (records, clusters, entity-id counter)."""
-        return {
-            "id_attr": self.id_attr,
-            "records": self.records(),
-            "entities": {eid: list(m) for eid, m in self.entities().items()},
-            "next_ord": self._next_ord,
-        }
+        with self._lock:
+            return {
+                "id_attr": self.id_attr,
+                "records": self.records(),
+                "entities": {eid: list(m) for eid, m in self.entities().items()},
+                "next_ord": self._next_ord,
+            }
 
     @classmethod
     def from_state(cls, state: dict) -> "EntityStore":

@@ -11,7 +11,8 @@ Zero new dependencies, off by default, negligible when off. The pieces:
   / :func:`observe`, aggregated globally (:func:`get_metrics`) and per run;
 * **sinks** — :func:`configure_telemetry` selects where finished spans go:
   ``"memory"``, ``"jsonl"`` (``--trace``), or ``"stderr"``;
-* **run reports** — :meth:`ERResult.report` / :meth:`ResolveResult.report`
+* **run reports** — :meth:`ERResult.report` /
+  :meth:`repro.incremental.ResolveResult.report`
   assemble one versioned JSON document (validated by
   :func:`validate_report`), embedded in frozen artifacts and printable via
   ``python -m repro report <artifacts>``.

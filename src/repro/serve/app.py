@@ -1,0 +1,265 @@
+"""The serving application: lifecycle, sockets, signals, and embedding.
+
+:class:`ServeApp` composes the serving layer — load a
+:class:`~repro.serve.state.ServingState` from frozen artifacts, start the
+:class:`~repro.serve.batcher.MicroBatcher`, bind an asyncio server that
+feeds :class:`~repro.serve.handlers.Router` — and owns startup/shutdown
+ordering. ``python -m repro serve`` calls :func:`run_serve`;
+tests, benchmarks, and the example client embed the same app in-process
+via :class:`BackgroundServer`, which runs it on a daemon thread and
+exposes ``base_url``.
+
+Hot reload: ``SIGHUP`` (where the platform has it, main thread only) and
+``POST /admin/reload`` both funnel
+:meth:`~repro.serve.state.ServingState.reload` through the batcher's
+writer thread, so a swap never overlaps an in-flight resolve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batcher import MicroBatcher
+from repro.serve.handlers import Router
+from repro.serve.http import serve_connection
+from repro.serve.state import ServingState
+
+__all__ = ["ServeApp", "BackgroundServer", "run_serve"]
+
+
+class ServeApp:
+    """One serving process over one artifact root.
+
+    Parameters
+    ----------
+    artifacts:
+        Artifact root to serve (``CURRENT``-pointer layout or legacy flat).
+    host / port / max_batch / max_wait_ms:
+        Overrides for the corresponding :class:`~repro.api.spec.ServeSpec`
+        fields. ``None`` falls back to the spec embedded in the artifacts
+        (``pipeline_spec.serve``), then to the spec defaults. ``port=0``
+        binds an ephemeral port (see :attr:`bound_port`).
+    """
+
+    def __init__(
+        self,
+        artifacts,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        max_batch: int | None = None,
+        max_wait_ms: float | None = None,
+    ):
+        self._overrides = {
+            "host": host,
+            "port": port,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+        }
+        self.state = ServingState(artifacts)
+        self.metrics = MetricsRegistry()
+        #: Effective :class:`~repro.api.spec.ServeSpec` (set by :meth:`start`).
+        self.config = None
+        self.batcher: MicroBatcher | None = None
+        self.router: Router | None = None
+        self._server: asyncio.Server | None = None
+        self._sighup_installed = False
+
+    def _effective_config(self):
+        """Overrides > artifact-embedded ``serve`` spec > defaults."""
+        from repro.api.spec import ServeSpec
+
+        spec = getattr(self.state.resolver.spec, "serve", None) or ServeSpec()
+        fields = {
+            name: value
+            for name, value in self._overrides.items()
+            if value is not None
+        }
+        return spec.replace(**fields) if fields else spec
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Load artifacts, start the batcher, bind the listening socket."""
+        self.state.load()
+        self.config = self._effective_config()
+        self.batcher = MicroBatcher(
+            self.state.execute_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            # self.router exists before the batcher can execute anything
+            on_batch=lambda n_req, n_rec: self.router.observe_batch(n_req, n_rec),
+        )
+        self.router = Router(self.state, self.batcher, self.metrics)
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._install_sighup()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, release the socket."""
+        self._remove_sighup()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.batcher is not None:
+            await self.batcher.stop()
+            self.batcher = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's main loop)."""
+        if self._server is None:
+            raise RuntimeError("ServeApp is not started")
+        await self._server.serve_forever()
+
+    @property
+    def bound_port(self) -> int:
+        """The actually bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("ServeApp is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the live listener."""
+        return f"http://{self.config.host}:{self.bound_port}"
+
+    async def _handle_connection(self, reader, writer) -> None:
+        await serve_connection(reader, writer, self.router.dispatch)
+
+    # -- signals -----------------------------------------------------------------
+
+    def _install_sighup(self) -> None:
+        """SIGHUP → hot reload; skipped off the main thread and off POSIX."""
+        if not hasattr(signal, "SIGHUP"):
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGHUP, self._on_sighup)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - platform
+            return
+        self._sighup_installed = True
+
+    def _remove_sighup(self) -> None:
+        if not self._sighup_installed:
+            return
+        asyncio.get_running_loop().remove_signal_handler(signal.SIGHUP)
+        self._sighup_installed = False
+
+    def _on_sighup(self) -> None:
+        asyncio.get_running_loop().create_task(self._reload_from_signal())
+
+    async def _reload_from_signal(self) -> None:
+        from repro.serve.protocol import ProtocolError
+
+        try:
+            info = await self.batcher.run_serialized(self.state.reload)
+            self.metrics.counter_add("serve.reloads")
+            print(f"reloaded artifacts: {info}", flush=True)
+        except ProtocolError as exc:  # keep serving the previous version
+            print(f"reload failed: {exc}", flush=True)
+
+
+class BackgroundServer:
+    """Run a :class:`ServeApp` on a daemon thread (tests, benches, examples).
+
+    Usage::
+
+        with BackgroundServer(ServeApp(artifacts, port=0)) as server:
+            urlopen(server.base_url + "/healthz")
+    """
+
+    def __init__(self, app: ServeApp):
+        self.app = app
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self.base_url: str | None = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=60)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.base_url is None:
+            raise RuntimeError("server did not start within 60s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to __enter__
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+            else:  # pragma: no cover - post-startup crash
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.app.start()
+        self.base_url = self.app.base_url
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.app.stop()
+
+
+def run_serve(
+    artifacts,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    max_batch: int | None = None,
+    max_wait_ms: float | None = None,
+) -> int:
+    """Start a server and block until interrupted (the CLI entry point)."""
+    app = ServeApp(
+        artifacts,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+    )
+
+    async def main() -> None:
+        await app.start()
+        print(
+            f"serving {app.state.artifacts} ({app.state.version}) "
+            f"on {app.base_url} "
+            f"(max_batch={app.config.max_batch}, "
+            f"max_wait_ms={app.config.max_wait_ms})",
+            flush=True,
+        )
+        try:
+            await app.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupted, shutting down", flush=True)
+    return 0

@@ -1,0 +1,189 @@
+"""Micro-batching queue: concurrent requests, one columnar engine pass.
+
+The serving layer's throughput comes from here. Single-record HTTP
+resolves would push one-pair-at-a-time work through kernels that are built
+for batches; :class:`MicroBatcher` instead parks concurrent ``/resolve``
+requests on an ``asyncio`` queue, coalesces them — up to ``max_batch``
+records, waiting at most ``max_wait_ms`` for stragglers — and executes the
+merged batch as *one* call into the incremental engine
+(``IncrementalTokenIndex`` probing + batch featurization + one
+``predict_proba``), then fans the per-request slices back out to their
+waiting futures.
+
+The batcher also owns the serving layer's **single-writer contract**: every
+batch executes on a one-thread executor, so resolves (which mutate the
+index and the union-find :class:`~repro.incremental.store.EntityStore`)
+are strictly serialized, while snapshot reads (lookup/health endpoints)
+proceed concurrently from the event loop. Artifact hot-reloads are funneled
+through the same thread via :meth:`MicroBatcher.run_serialized`, which is
+what makes a reload invisible to in-flight requests: queued batches drain
+on the old resolver or run entirely on the new one, never half-and-half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce awaitable requests into serialized engine batches.
+
+    Parameters
+    ----------
+    execute:
+        Synchronous callable ``execute(requests) -> outcomes`` run on the
+        single writer thread. ``outcomes`` must align with ``requests``;
+        an outcome that is an exception is raised from that request's
+        :meth:`submit`, other requests are unaffected.
+    max_batch:
+        Record budget per executed batch. Collection stops as soon as the
+        queued requests reach it (a single oversized request still runs,
+        alone).
+    max_wait_ms:
+        How long the first request of a batch waits for stragglers before
+        the batch executes anyway. ``0`` coalesces only what is already
+        queued — latency-optimal, still batching under bursts.
+    on_batch:
+        Optional observer ``on_batch(n_requests, n_records)`` called after
+        each batch executes (metrics hook).
+    """
+
+    def __init__(
+        self,
+        execute,
+        max_batch: int = 64,
+        max_wait_ms: float = 10.0,
+        on_batch=None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._execute = execute
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._on_batch = on_batch
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-writer"
+        )
+        self._stopping = False
+        #: Batches executed since start (monotone; read by /metrics).
+        self.n_batches = 0
+        #: Requests that went through executed batches.
+        self.n_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue and start the collection loop on the running loop."""
+        if self._task is not None:
+            raise RuntimeError("MicroBatcher is already started")
+        self._stopping = False
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(self._loop())
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the loop, and shut the writer thread down."""
+        if self._task is None:
+            return
+        self._stopping = True
+        await self._queue.put(None)  # wake the collector
+        await self._task
+        self._task = None
+        self._queue = None
+        self._executor.shutdown(wait=True)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be batched (0 when stopped)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- submission --------------------------------------------------------------
+
+    async def submit(self, request):
+        """Enqueue one request and await its outcome.
+
+        ``request`` must expose ``records`` (its weight toward
+        ``max_batch``). Raises whatever exception the executed batch
+        assigned to this request.
+        """
+        if self._queue is None:
+            raise RuntimeError("MicroBatcher is not started")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((request, future))
+        return await future
+
+    async def run_serialized(self, fn):
+        """Run ``fn()`` on the writer thread, FIFO with the batches.
+
+        The single-worker executor guarantees ``fn`` never overlaps a
+        resolve: batches already submitted finish first, batches submitted
+        after run against whatever state ``fn`` left behind. This is the
+        hot-reload (and store-save) entry point.
+        """
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn)
+
+    # -- collection loop ---------------------------------------------------------
+
+    async def _loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                if self._stopping:
+                    return
+                continue
+            batch = [item]
+            total = len(item[0].records)
+            if total < self.max_batch and self.max_wait_s > 0:
+                deadline = loop.time() + self.max_wait_s
+                while total < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    if nxt is None:
+                        break
+                    batch.append(nxt)
+                    total += len(nxt[0].records)
+            # sweep anything that queued up while waiting (no extra waiting)
+            while total < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    break
+                batch.append(nxt)
+                total += len(nxt[0].records)
+            await self._dispatch(batch, total)
+            if self._stopping and self._queue.empty():
+                return
+
+    async def _dispatch(self, batch: list, n_records: int) -> None:
+        requests = [request for request, _future in batch]
+        try:
+            outcomes = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._execute, requests
+            )
+        except Exception as exc:  # an execute() bug fails the batch, not the server
+            outcomes = [exc] * len(requests)
+        self.n_batches += 1
+        self.n_requests += len(requests)
+        for (_request, future), outcome in zip(batch, outcomes):
+            if future.cancelled():
+                continue
+            if isinstance(outcome, BaseException):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+        if self._on_batch is not None:
+            self._on_batch(len(requests), n_records)

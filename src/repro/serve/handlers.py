@@ -1,0 +1,268 @@
+"""Endpoint handlers and the request router.
+
+:class:`Router` maps ``(method, path)`` onto handler coroutines, wraps
+every request in a telemetry span plus always-on service metrics, and
+converts :class:`~repro.serve.protocol.ProtocolError` (and anything
+unexpected) into the uniform JSON error envelope. Handlers return
+``(status, body_dict)``; the transport in :mod:`repro.serve.http` does the
+bytes.
+
+Endpoints
+---------
+``POST /resolve``
+    Ingest records through the micro-batcher (see
+    :mod:`repro.serve.batcher`).
+``GET /lookup/{id}``
+    Entity membership by entity id *or* record id, from a store snapshot.
+``GET /explain?left=&right=``
+    Per-attribute-group log-odds decomposition of a stored pair.
+``GET /healthz``
+    Liveness + the service-lifetime health report (503 when degraded to
+    error severity).
+``GET /metrics``
+    The serving :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+``POST /admin/reload``
+    Zero-downtime swap to the artifact root's current version.
+``POST /admin/save``
+    Persist the live store/index as a new artifact version.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import span
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    ExplainQuery,
+    ProtocolError,
+    error_body,
+    explain_response,
+    parse_resolve_request,
+    resolve_response,
+)
+from repro.serve.state import ServingState
+
+__all__ = ["Router"]
+
+#: Latency histogram bin edges, in milliseconds.
+LATENCY_EDGES_MS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+#: Batch-size histogram bin edges (requests or records per executed batch).
+BATCH_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Router:
+    """Dispatch parsed HTTP requests to endpoint handlers.
+
+    Parameters
+    ----------
+    state:
+        The loaded :class:`~repro.serve.state.ServingState`.
+    batcher:
+        The started :class:`~repro.serve.batcher.MicroBatcher` all
+        ``/resolve`` traffic and admin mutations go through.
+    metrics:
+        The serving-process :class:`~repro.obs.metrics.MetricsRegistry`
+        surfaced by ``GET /metrics``.
+    """
+
+    def __init__(self, state: ServingState, batcher: MicroBatcher, metrics):
+        self.state = state
+        self.batcher = batcher
+        self.metrics = metrics
+
+    def observe_batch(self, n_requests: int, n_records: int) -> None:
+        """Record one executed micro-batch (the batcher's ``on_batch`` hook)."""
+        self.metrics.counter_add("serve.batches")
+        self.metrics.histogram_observe(
+            "serve.batch.requests", n_requests, edges=BATCH_EDGES
+        )
+        self.metrics.histogram_observe(
+            "serve.batch.records", n_records, edges=BATCH_EDGES
+        )
+
+    # -- dispatch ----------------------------------------------------------------
+
+    async def dispatch(self, request) -> tuple[int, dict]:
+        """Route one request; always returns ``(status, json_body)``."""
+        route, handler = self._route(request)
+        t0 = time.perf_counter()
+        with span("serve.request", method=request.method, path=request.path) as sp:
+            try:
+                if handler is None:
+                    raise ProtocolError(*route)
+                status, body = await handler(request)
+            except ProtocolError as exc:
+                status, body = exc.status, error_body(exc.status, str(exc))
+            except Exception as exc:  # noqa: BLE001 - the envelope must hold
+                status = 500
+                body = error_body(500, f"internal error: {type(exc).__name__}: {exc}")
+            sp.set(status=status)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        name = handler.__name__.removeprefix("_handle_") if handler else "unrouted"
+        self.metrics.counter_add("serve.requests")
+        self.metrics.counter_add(f"serve.requests.{name}")
+        self.metrics.counter_add(f"serve.status.{status}")
+        if status >= 500:
+            self.metrics.counter_add("serve.errors")
+        self.metrics.histogram_observe(
+            "serve.latency_ms", elapsed_ms, edges=LATENCY_EDGES_MS
+        )
+        return status, body
+
+    def _route(self, request):
+        """Resolve a request to a handler, or an error ``(status, message)``."""
+        path, method = request.path.rstrip("/") or "/", request.method
+        exact = {
+            "/": {"GET": self._handle_root},
+            "/resolve": {"POST": self._handle_resolve},
+            "/explain": {"GET": self._handle_explain},
+            "/healthz": {"GET": self._handle_healthz},
+            "/metrics": {"GET": self._handle_metrics},
+            "/admin/reload": {"POST": self._handle_reload},
+            "/admin/save": {"POST": self._handle_save},
+        }
+        if path in exact:
+            handler = exact[path].get(method)
+            if handler is None:
+                allowed = ", ".join(sorted(exact[path]))
+                return (405, f"{method} not allowed on {path} (use {allowed})"), None
+            return None, handler
+        if path.startswith("/lookup/"):
+            if method != "GET":
+                return (405, f"{method} not allowed on /lookup/{{id}} (use GET)"), None
+            return None, self._handle_lookup
+        return (404, f"no route for {path}"), None
+
+    # -- endpoints ---------------------------------------------------------------
+
+    async def _handle_root(self, request) -> tuple[int, dict]:
+        state = self.state
+        return 200, {
+            "service": "repro-serve",
+            "artifact_version": state.version,
+            "endpoints": [
+                "POST /resolve",
+                "GET /lookup/{id}",
+                "GET /explain?left=&right=",
+                "GET /healthz",
+                "GET /metrics",
+                "POST /admin/reload",
+                "POST /admin/save",
+            ],
+        }
+
+    async def _handle_resolve(self, request) -> tuple[int, dict]:
+        parsed = parse_resolve_request(
+            request.body, self.state.resolver.store.id_attr
+        )
+        outcome = await self.batcher.submit(parsed)
+        result, batch_info = outcome
+        body = resolve_response(parsed, result, batch_info)
+        self.metrics.counter_add("serve.resolved.records", len(parsed.records))
+        self.metrics.counter_add("serve.resolved.matches", len(body["matches"]))
+        self.metrics.gauge_set("serve.store.records", len(self.state.resolver.store))
+        self.metrics.gauge_set(
+            "serve.store.entities", self.state.resolver.store.n_entities
+        )
+        return 200, body
+
+    async def _handle_lookup(self, request) -> tuple[int, dict]:
+        target = request.path.rstrip("/").removeprefix("/lookup/")
+        if not target:
+            raise ProtocolError(400, "lookup needs an entity or record id")
+        snapshot = self.state.resolver.store.snapshot()
+        if target in snapshot.entities:
+            entity_id = target
+        elif target in snapshot.assignments:
+            entity_id = snapshot.assignments[target]
+        else:
+            raise ProtocolError(404, f"no entity or record with id {target!r}")
+        members = list(snapshot.entities[entity_id])
+        store = self.state.resolver.store
+        return 200, {
+            "entity_id": entity_id,
+            "members": members,
+            "records": [dict(store.get(rid)) for rid in members],
+        }
+
+    async def _handle_explain(self, request) -> tuple[int, dict]:
+        query = self._parse_explain_query(request.query)
+        resolver = self.state.resolver
+        if not hasattr(resolver.model, "explain"):
+            raise ProtocolError(
+                501,
+                "explain is only available for dedup (ZeroER) models; "
+                "this artifact serves a linkage model",
+            )
+        store = resolver.store
+        for rid in (query.left, query.right):
+            if rid not in store:
+                raise ProtocolError(404, f"no record with id {rid!r} in the store")
+        X = resolver.generator.transform(
+            store, None, [(query.left, query.right)], engine=resolver.engine
+        )
+        explanation = resolver.model.explain(X)[0]
+        return 200, explain_response(query, explanation, explanation.posterior)
+
+    @staticmethod
+    def _parse_explain_query(query: dict) -> ExplainQuery:
+        left, right = query.get("left"), query.get("right")
+        if not left or not right:
+            raise ProtocolError(
+                400, "explain needs both 'left' and 'right' query parameters"
+            )
+        top_raw = query.get("top", "0")
+        try:
+            top = int(top_raw)
+            if top < 0:
+                raise ValueError
+        except ValueError as exc:
+            raise ProtocolError(
+                400, f"'top' must be a non-negative integer, got {top_raw!r}"
+            ) from exc
+        return ExplainQuery(left=left, right=right, top=top)
+
+    async def _handle_healthz(self, request) -> tuple[int, dict]:
+        state = self.state
+        resolver = state.resolver
+        snapshot = resolver.store.snapshot()
+        health = state.health_dict()
+        now = time.time()
+        body = {
+            "status": "ok" if health["ok"] else "error",
+            "degraded": health["degraded"],
+            "artifact_root": str(state.artifacts),
+            "artifact_version": state.version,
+            "reloads": state.n_reloads,
+            "uptime_s": now - state.started_at if state.started_at else 0.0,
+            "loaded_for_s": now - state.loaded_at if state.loaded_at else 0.0,
+            "store": {
+                "records": snapshot.n_records,
+                "entities": snapshot.n_entities,
+            },
+            "index": {
+                "records": len(resolver.index),
+                "tokens": resolver.index.n_tokens,
+            },
+            "batcher": {
+                "queue_depth": self.batcher.queue_depth,
+                "batches": self.batcher.n_batches,
+                "requests": self.batcher.n_requests,
+            },
+            "health": health,
+        }
+        return (200 if health["ok"] else 503), body
+
+    async def _handle_metrics(self, request) -> tuple[int, dict]:
+        return 200, {"metrics": self.metrics.snapshot()}
+
+    async def _handle_reload(self, request) -> tuple[int, dict]:
+        info = await self.batcher.run_serialized(self.state.reload)
+        self.metrics.counter_add("serve.reloads")
+        return 200, {"reloaded": True, **info}
+
+    async def _handle_save(self, request) -> tuple[int, dict]:
+        info = await self.batcher.run_serialized(self.state.save)
+        self.metrics.counter_add("serve.saves")
+        return 200, {"saved": True, **info}

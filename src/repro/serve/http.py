@@ -1,0 +1,202 @@
+"""Minimal asyncio HTTP/1.1 transport for the serving layer.
+
+The container has no web framework and the project adds no dependencies,
+so the transport is ~150 lines of stdlib asyncio: parse a request line +
+headers + ``Content-Length`` body from a :class:`asyncio.StreamReader`,
+hand the typed :class:`HttpRequest` to an async ``dispatch`` callable that
+returns ``(status, json_body)``, write the response, keep the connection
+alive. It deliberately implements only what the service speaks — JSON
+bodies, ``Content-Length`` framing, keep-alive — and answers everything
+else (chunked uploads, oversized bodies, garbled request lines) with a
+clean 4xx/5xx instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpRequest", "serve_connection"]
+
+#: Hard cap on a single header line (request line included).
+MAX_LINE_BYTES = 8192
+#: Hard cap on the number of header lines per request.
+MAX_HEADERS = 100
+#: Default cap on request body size (16 MiB, far above the record cap).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request, ready for routing."""
+
+    method: str
+    #: Decoded path component, e.g. ``"/lookup/e12"``.
+    path: str
+    #: Decoded query parameters (last value wins for repeated keys).
+    query: dict = field(default_factory=dict)
+    #: Headers with lower-cased names.
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+
+class _BadRequest(Exception):
+    """Connection-level protocol violation; answered then the socket closes."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError, ValueError) as exc:
+        raise _BadRequest(400, f"unreadable request line: {exc}") from exc
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise _BadRequest(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError as exc:
+        raise _BadRequest(400, "malformed request line") from exc
+    if not version.startswith("HTTP/1."):
+        raise _BadRequest(400, f"unsupported protocol {version!r}")
+
+    headers: dict = {}
+    for _ in range(MAX_HEADERS + 1):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(raw) > MAX_LINE_BYTES:
+            raise _BadRequest(400, "header line too long")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadRequest(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest(400, "too many headers")
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise _BadRequest(501, "chunked request bodies are not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+            if n < 0:
+                raise ValueError
+        except ValueError as exc:
+            raise _BadRequest(400, f"invalid Content-Length {length!r}") from exc
+        if n > max_body:
+            raise _BadRequest(413, f"request body exceeds {max_body} bytes")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError as exc:
+                raise _BadRequest(400, "request body truncated") from exc
+    # no Content-Length and no chunked framing means no body (RFC 9112 §6.3)
+    # — body-less POSTs like `curl -X POST .../admin/reload` are fine; the
+    # handlers that need a body answer 400 on the empty payload themselves
+
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method,
+        path=parts.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _encode_response(status: int, body: dict, *, close: bool) -> bytes:
+    try:
+        payload = json.dumps(body, allow_nan=False).encode("utf-8")
+    except (TypeError, ValueError):
+        # a handler produced a non-JSON value (NaN, ndarray, ...): answer a
+        # well-formed 500 rather than tearing the connection down
+        status = 500
+        payload = json.dumps(
+            {"error": "response was not JSON-serializable", "status": 500}
+        ).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload
+
+
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    dispatch,
+    *,
+    max_body: int = MAX_BODY_BYTES,
+) -> None:
+    """Serve one client connection until EOF, error, or ``Connection: close``.
+
+    ``dispatch`` is an ``async (HttpRequest) -> (status, body_dict)``
+    callable; anything it raises is answered as a 500 with a generic body
+    (handlers are expected to catch their own errors first).
+    """
+    try:
+        while True:
+            try:
+                request = await _read_request(reader, max_body)
+            except _BadRequest as exc:
+                writer.write(
+                    _encode_response(
+                        exc.status,
+                        {"error": str(exc), "status": exc.status},
+                        close=True,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            try:
+                status, body = await dispatch(request)
+            except Exception:  # dispatch must not kill the acceptor
+                status, body = 500, {"error": "internal server error", "status": 500}
+            wants_close = (
+                request.headers.get("connection", "").lower() == "close"
+            )
+            try:
+                writer.write(_encode_response(status, body, close=wants_close))
+                await writer.drain()
+            except ConnectionError:
+                return
+            if wants_close:
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

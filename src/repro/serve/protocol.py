@@ -1,0 +1,168 @@
+"""Wire protocol of the serving layer: request/response models and errors.
+
+Everything on the wire is JSON. This module owns the boundary between
+untrusted HTTP bytes and the typed serving internals: parsing and
+validating request bodies into :class:`ResolveRequest` /
+:class:`ExplainQuery` values, and shaping engine results back into
+JSON-serializable response dicts. Validation failures raise
+:class:`ProtocolError`, which carries the HTTP status the handler should
+answer with — handlers never let a raw ``KeyError``/``TypeError`` escape to
+the client as a 500.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProtocolError",
+    "ResolveRequest",
+    "ExplainQuery",
+    "parse_resolve_request",
+    "resolve_response",
+    "explain_response",
+    "error_body",
+]
+
+#: Upper bound on records accepted in one ``/resolve`` request body.
+MAX_RECORDS_PER_REQUEST = 10_000
+
+
+class ProtocolError(Exception):
+    """A request the service must refuse, with the HTTP status to answer.
+
+    ``status`` is the HTTP status code (400 malformed, 404 unknown id,
+    409 conflicting record id, 413 oversized body, ...); the message is
+    returned verbatim in the JSON error body.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+
+
+def error_body(status: int, message: str) -> dict:
+    """The uniform JSON error envelope: ``{"error": ..., "status": ...}``."""
+    return {"error": str(message), "status": int(status)}
+
+
+@dataclass(frozen=True)
+class ResolveRequest:
+    """One validated ``POST /resolve`` body: a batch of records to ingest."""
+
+    #: Record dicts, each carrying the store's id attribute.
+    records: tuple = ()
+    #: Ids of ``records``, in order (extracted during validation).
+    record_ids: tuple = ()
+
+
+@dataclass(frozen=True)
+class ExplainQuery:
+    """One validated ``GET /explain`` query: a pair of stored record ids."""
+
+    left: str = ""
+    right: str = ""
+    #: Groups to include in the response, largest-|contribution| first.
+    top: int = field(default=0)  # 0 == all groups
+
+
+def _load_json(body: bytes) -> object:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+def parse_resolve_request(body: bytes, id_attr: str) -> ResolveRequest:
+    """Validate a ``/resolve`` body into a :class:`ResolveRequest`.
+
+    The body must be ``{"records": [{...}, ...]}`` where every record is an
+    object carrying a non-null ``id_attr`` value, unique within the
+    request. Structural problems raise :class:`ProtocolError` with status
+    400 (422 for a well-formed request that exceeds the record cap).
+    """
+    data = _load_json(body)
+    if not isinstance(data, dict):
+        raise ProtocolError(400, "request body must be a JSON object")
+    unknown = sorted(set(data) - {"records"})
+    if unknown:
+        raise ProtocolError(400, f"unknown key(s) {unknown} in request body")
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        raise ProtocolError(400, "'records' must be a non-empty JSON array")
+    if len(records) > MAX_RECORDS_PER_REQUEST:
+        raise ProtocolError(
+            422,
+            f"request carries {len(records)} records; "
+            f"the per-request cap is {MAX_RECORDS_PER_REQUEST}",
+        )
+    ids = []
+    seen = set()
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            raise ProtocolError(400, f"records[{i}] must be a JSON object")
+        rid = rec.get(id_attr)
+        if rid is None:
+            raise ProtocolError(
+                400, f"records[{i}] is missing the id attribute {id_attr!r}"
+            )
+        if not isinstance(rid, (str, int)):
+            raise ProtocolError(
+                400, f"records[{i}].{id_attr} must be a string or integer"
+            )
+        if rid in seen:
+            raise ProtocolError(409, f"record id {rid!r} appears twice in the request")
+        seen.add(rid)
+        ids.append(rid)
+    return ResolveRequest(records=tuple(records), record_ids=tuple(ids))
+
+
+def resolve_response(request: ResolveRequest, result, batch: dict) -> dict:
+    """Shape one request's slice of a batch :class:`ResolveResult` as JSON.
+
+    ``result`` is the :class:`~repro.incremental.resolver.ResolveResult` of
+    the *merged* micro-batch; this request's records are a subset of it.
+    Scored pairs are attributed to the arriving record of the pair (its
+    second element), so each client sees exactly the comparisons its
+    records triggered — including matches against records that arrived in
+    the same micro-batch from another client. ``batch`` carries the
+    coalescing facts (requests and records in the executed batch).
+    """
+    wanted = set(request.record_ids)
+    pairs = [
+        {"left": a, "right": b, "score": float(score)}
+        for (a, b), score in zip(result.pairs, result.scores)
+        if b in wanted
+    ]
+    matches = [p for p in pairs if p["score"] > result.threshold]
+    return {
+        "assignments": {rid: result.assignments[rid] for rid in request.record_ids},
+        "matches": matches,
+        "pairs_scored": len(pairs),
+        "threshold": result.threshold,
+        "batch": dict(batch),
+    }
+
+
+def explain_response(query: ExplainQuery, explanation, posterior: float) -> dict:
+    """Shape one :class:`~repro.core.explain.PairExplanation` as JSON."""
+    contributions = explanation.top(query.top) if query.top else list(
+        explanation.contributions
+    )
+    return {
+        "left": query.left,
+        "right": query.right,
+        "posterior": posterior,
+        "log_odds": explanation.log_odds,
+        "prior_log_odds": explanation.prior_log_odds,
+        "contributions": [
+            {
+                "group": c.group_index,
+                "feature_indices": list(c.feature_indices),
+                "log_likelihood_ratio": c.log_likelihood_ratio,
+                "favors_match": c.favors_match,
+            }
+            for c in contributions
+        ],
+    }

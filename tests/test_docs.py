@@ -1,0 +1,152 @@
+"""Documentation anti-rot gates.
+
+Three contracts keep the docs tree honest:
+
+* ``docs/api/`` is generated from the live docstrings by
+  ``tools/gen_api_reference.py`` and checked in — these tests regenerate it
+  in memory and fail on drift, and fail on any docstring cross-reference
+  (``:class:`` / ``:meth:`` / ...) that no longer resolves.
+* ``docs/cli.md`` documents every subcommand and every flag that
+  ``repro.__main__.build_parser()`` actually exposes, in both directions —
+  a flag added without docs, or docs for a removed flag, fail here.
+* Relative links in the hand-written docs pages point at files that exist.
+"""
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import _SUBCOMMANDS, build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+
+@pytest.fixture(scope="module")
+def gen_api():
+    """The generator tool, imported from tools/ as a module."""
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_reference", REPO / "tools" / "gen_api_reference.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestApiReference:
+    def test_checked_in_pages_match_the_sources(self, gen_api):
+        pages, _ = gen_api.render_all()
+        stale = []
+        for filename, content in pages.items():
+            path = DOCS / "api" / filename
+            if not path.is_file():
+                stale.append(f"missing: docs/api/{filename}")
+            elif path.read_text(encoding="utf-8") != content:
+                stale.append(f"out of date: docs/api/{filename}")
+        for path in (DOCS / "api").glob("*.md"):
+            if path.name not in pages:
+                stale.append(f"orphaned: docs/api/{path.name}")
+        assert not stale, (
+            f"{stale}; regenerate with: "
+            "PYTHONPATH=src python tools/gen_api_reference.py"
+        )
+
+    def test_docstring_cross_references_resolve(self, gen_api):
+        _, xrefs = gen_api.render_all()
+        assert xrefs, "expected the documented modules to cross-reference each other"
+        broken = sorted(
+            {
+                (context, target)
+                for context, owner, target in xrefs
+                if not gen_api.resolve_xref(context, owner, target)
+            }
+        )
+        assert not broken
+
+    def test_every_documented_module_imports(self, gen_api):
+        for module_name in gen_api.MODULES:
+            assert importlib.import_module(module_name).__doc__
+
+
+def _cli_sections() -> dict:
+    """``{subcommand: section text}`` from docs/cli.md's ``##`` headings."""
+    text = (DOCS / "cli.md").read_text(encoding="utf-8")
+    sections = {}
+    name = None
+    for line in text.splitlines():
+        if line.startswith("## "):
+            name = line[3:].strip()
+            sections[name] = []
+        elif name is not None:
+            sections[name].append(line)
+    return {name: "\n".join(body) for name, body in sections.items()}
+
+
+def _flags(parser) -> set:
+    """All long option strings of a parser, nested subparsers included."""
+    found = set()
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                found.add(option)
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            for sub in action.choices.values():
+                found |= _flags(sub)
+    return found
+
+
+class TestCliDocs:
+    def test_every_subcommand_has_a_section(self):
+        missing = set(_SUBCOMMANDS) - set(_cli_sections())
+        assert not missing, f"docs/cli.md lacks a '## <name>' section for {missing}"
+
+    def test_every_section_is_a_real_subcommand(self):
+        unknown = set(_cli_sections()) - set(_SUBCOMMANDS)
+        assert not unknown, f"docs/cli.md documents unknown subcommands {unknown}"
+
+    def test_every_flag_is_documented_in_its_section(self):
+        parser = build_parser()
+        (subparsers_action,) = [
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        ]
+        sections = _cli_sections()
+        undocumented = []
+        for name, sub in subparsers_action.choices.items():
+            for flag in _flags(sub):
+                if f"`{flag}" not in sections[name] and f"{flag} " not in sections[name]:
+                    undocumented.append(f"{name}: {flag}")
+        assert not undocumented, f"flags missing from docs/cli.md: {undocumented}"
+
+    def test_documented_flags_exist(self):
+        parser = build_parser()
+        (subparsers_action,) = [
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        ]
+        stale = []
+        for name, section in _cli_sections().items():
+            real = _flags(subparsers_action.choices[name])
+            # only the flag-table rows: prose may mention other subcommands'
+            # flags (e.g. "pass the spec back via --spec" under `spec`)
+            table = "\n".join(
+                line for line in section.splitlines() if line.startswith("| `")
+            )
+            for flag in set(re.findall(r"(--[a-z][a-z-]*)", table)):
+                if flag not in real:
+                    stale.append(f"{name}: {flag}")
+        assert not stale, f"docs/cli.md documents flags that no longer exist: {stale}"
+
+
+class TestDocLinks:
+    def test_relative_links_resolve(self):
+        broken = []
+        for page in sorted(DOCS.rglob("*.md")) + [REPO / "README.md"]:
+            text = page.read_text(encoding="utf-8")
+            for target in re.findall(r"\]\(([^)#]+?)(?:#[^)]*)?\)", text):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if not (page.parent / target).exists():
+                    broken.append(f"{page.relative_to(REPO)}: {target}")
+        assert not broken, f"broken relative links: {broken}"

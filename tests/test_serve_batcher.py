@@ -1,0 +1,294 @@
+"""MicroBatcher unit tests: coalescing, caps, failure isolation, serialization.
+
+These run the batcher against a fake ``execute`` so the behaviors the
+serving layer depends on are pinned down without sockets or a model:
+concurrent submissions coalesce into few batches, ``max_batch`` bounds the
+records per engine pass, a per-request failure reaches only its own
+submitter, and :meth:`MicroBatcher.run_serialized` never overlaps a batch
+(the single-writer guarantee hot-reload rides on).
+"""
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+@dataclass(frozen=True)
+class Req:
+    """Minimal request: the batcher only needs ``.records``."""
+
+    records: tuple = ("x",)
+
+
+def _run(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_coalesce(self):
+        batch_sizes = []
+
+        def execute(requests):
+            batch_sizes.append(len(requests))
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=100.0)
+            await batcher.start()
+            try:
+                return await asyncio.gather(*(batcher.submit(Req()) for _ in range(8)))
+            finally:
+                await batcher.stop()
+
+        results = _run(main)
+        assert results == ["ok"] * 8
+        assert sum(batch_sizes) == 8
+        # all 8 were queued before the first batch's wait expired
+        assert len(batch_sizes) < 8
+
+    def test_max_batch_bounds_each_engine_pass(self):
+        batch_records = []
+
+        def execute(requests):
+            batch_records.append(sum(len(r.records) for r in requests))
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=3, max_wait_ms=100.0)
+            await batcher.start()
+            try:
+                await asyncio.gather(*(batcher.submit(Req()) for _ in range(8)))
+            finally:
+                await batcher.stop()
+
+        _run(main)
+        assert sum(batch_records) == 8
+        assert all(n <= 3 for n in batch_records)
+
+    def test_oversized_request_still_runs_alone(self):
+        seen = []
+
+        def execute(requests):
+            seen.append([len(r.records) for r in requests])
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=2, max_wait_ms=0.0)
+            await batcher.start()
+            try:
+                return await batcher.submit(Req(records=("a", "b", "c", "d", "e")))
+            finally:
+                await batcher.stop()
+
+        assert _run(main) == "ok"
+        assert seen == [[5]]
+
+    def test_zero_wait_executes_immediately(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=0.0)
+            await batcher.start()
+            try:
+                return await batcher.submit(Req())
+            finally:
+                await batcher.stop()
+
+        assert _run(main) == "ok"
+
+    def test_counters_track_batches_and_requests(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=50.0)
+            await batcher.start()
+            try:
+                await asyncio.gather(*(batcher.submit(Req()) for _ in range(5)))
+            finally:
+                await batcher.stop()
+            return batcher
+
+        batcher = _run(main)
+        assert batcher.n_requests == 5
+        assert 1 <= batcher.n_batches <= 5
+
+    def test_on_batch_observer_sees_every_batch(self):
+        observed = []
+
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(
+                execute,
+                max_batch=64,
+                max_wait_ms=50.0,
+                on_batch=lambda n_req, n_rec: observed.append((n_req, n_rec)),
+            )
+            await batcher.start()
+            try:
+                await asyncio.gather(
+                    *(batcher.submit(Req(records=("a", "b"))) for _ in range(4))
+                )
+            finally:
+                await batcher.stop()
+
+        _run(main)
+        assert sum(n_req for n_req, _ in observed) == 4
+        assert sum(n_rec for _, n_rec in observed) == 8
+
+
+class TestFailureIsolation:
+    def test_per_request_exception_reaches_only_its_submitter(self):
+        def execute(requests):
+            return [
+                ValueError("bad one") if i == 1 else "ok"
+                for i in range(len(requests))
+            ]
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=100.0)
+            await batcher.start()
+            try:
+                return await asyncio.gather(
+                    *(batcher.submit(Req()) for _ in range(3)),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.stop()
+
+        results = _run(main)
+        assert sum(isinstance(r, ValueError) for r in results) == 1
+        assert sum(r == "ok" for r in results if isinstance(r, str)) == 2
+
+    def test_execute_raising_fails_the_whole_batch_not_the_server(self):
+        def execute(requests):
+            raise RuntimeError("engine exploded")
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=50.0)
+            await batcher.start()
+            try:
+                failed = await asyncio.gather(
+                    *(batcher.submit(Req()) for _ in range(3)),
+                    return_exceptions=True,
+                )
+                return failed
+            finally:
+                await batcher.stop()
+
+        results = _run(main)
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_recovers_after_a_failed_batch(self):
+        calls = []
+
+        def execute(requests):
+            calls.append(len(requests))
+            if len(calls) == 1:
+                raise RuntimeError("first batch dies")
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=64, max_wait_ms=0.0)
+            await batcher.start()
+            try:
+                first = await asyncio.gather(
+                    batcher.submit(Req()), return_exceptions=True
+                )
+                second = await batcher.submit(Req())
+                return first, second
+            finally:
+                await batcher.stop()
+
+        (first,), second = _run(main)
+        assert isinstance(first, RuntimeError)
+        assert second == "ok"
+
+
+class TestSingleWriterSerialization:
+    def test_run_serialized_never_overlaps_a_batch(self):
+        """Batches and serialized fns share one thread: no concurrent entry."""
+        active = []
+        lock = threading.Lock()
+        overlaps = []
+
+        def _enter(tag):
+            with lock:
+                if active:
+                    overlaps.append((tag, list(active)))
+                active.append(tag)
+            time.sleep(0.005)
+            with lock:
+                active.remove(tag)
+
+        def execute(requests):
+            _enter("batch")
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            try:
+                jobs = []
+                for i in range(6):
+                    jobs.append(batcher.submit(Req()))
+                    jobs.append(batcher.run_serialized(lambda: _enter("reload")))
+                await asyncio.gather(*jobs)
+            finally:
+                await batcher.stop()
+
+        _run(main)
+        assert overlaps == []
+
+    def test_run_serialized_returns_the_functions_value(self):
+        async def main():
+            batcher = MicroBatcher(lambda reqs: ["ok"] * len(reqs))
+            await batcher.start()
+            try:
+                return await batcher.run_serialized(lambda: {"swapped": True})
+            finally:
+                await batcher.stop()
+
+        assert _run(main) == {"swapped": True}
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        async def main():
+            batcher = MicroBatcher(lambda reqs: [])
+            with pytest.raises(RuntimeError, match="not started"):
+                await batcher.submit(Req())
+
+        _run(main)
+
+    def test_stop_drains_queued_requests(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            pending = [
+                asyncio.get_running_loop().create_task(batcher.submit(Req()))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            await batcher.stop()
+            return await asyncio.gather(*pending, return_exceptions=True)
+
+        results = _run(main)
+        assert results == ["ok"] * 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda reqs: [], max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(lambda reqs: [], max_wait_ms=-1.0)
