@@ -11,9 +11,16 @@ client threads (the batcher coalesces them into multi-record engine
 batches). Same records, same model, same wire format; the only variable is
 concurrency.
 
-Emits the printed table plus machine-readable ``BENCH_serve.json``. The
+A third scenario measures the service **under overload**: more concurrent
+clients than a deliberately tiny admission queue can absorb, so the server
+sheds part of the load with typed 503s. What's measured there is the
+overload contract, not throughput — every request is answered, the shed
+rate is visible, and response latency (p50/p99 across *all* answers,
+sheds included) stays bounded instead of growing with the backlog.
+
+Emits the printed tables plus machine-readable ``BENCH_serve.json``. The
 acceptance floor checked here is the serving issue's: micro-batched
-concurrent throughput ≥ 3× sequential.
+concurrent throughput ≥ 3× sequential, and bounded p99 while shedding.
 
 Set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI run (tiny scale, fewer
 records, and a relaxed floor — CI machines make poor load generators).
@@ -26,7 +33,10 @@ import tempfile
 import threading
 import time
 from pathlib import Path
+from urllib.error import HTTPError
 from urllib.request import Request, urlopen
+
+import numpy as np
 
 from _bench_utils import bench_workload, emit, one_shot, write_bench_report
 
@@ -47,6 +57,12 @@ N_RECORDS = 32 if SMOKE else 256
 CONCURRENCY = 8 if SMOKE else 32
 #: Acceptance floor on concurrent-vs-sequential throughput.
 MIN_SPEEDUP = 1.0 if SMOKE else 3.0
+#: Overload scenario: total requests fired and the admission queue bound.
+OVERLOAD_REQUESTS = 64 if SMOKE else 512
+OVERLOAD_CONCURRENCY = 16 if SMOKE else 64
+OVERLOAD_QUEUE = 4
+#: Acceptance ceiling on p99 answer latency while shedding (ms).
+MAX_SHED_P99_MS = 30_000.0 if SMOKE else 10_000.0
 
 
 def _resolve_one(base_url: str, record: dict) -> dict:
@@ -92,6 +108,52 @@ def _run_concurrent(base_url: str, records: list, n_threads: int) -> float:
     return elapsed
 
 
+def _run_overload(base_url: str, records: list, n_requests: int, n_threads: int):
+    """Blast the server past its admission queue; returns (elapsed, answers).
+
+    Each answer is ``(status, latency_ms)`` — 200 for an admitted resolve,
+    503 for a typed shed. Anything else (a hang, a dropped connection, an
+    unexpected status) fails the bench.
+    """
+    jobs = [
+        (f"ov{i}", records[i % len(records)]) for i in range(n_requests)
+    ]
+    chunks = [jobs[i::n_threads] for i in range(n_threads)]
+    answers: list = []
+    errors: list = []
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(chunk):
+        barrier.wait()
+        for rid, record in chunk:
+            body = json.dumps({"records": [dict(record, id=rid)]}).encode("utf-8")
+            request = Request(base_url + "/resolve", data=body, method="POST")
+            t0 = time.perf_counter()
+            try:
+                with urlopen(request, timeout=120) as response:
+                    response.read()
+                    status = response.status
+            except HTTPError as exc:
+                exc.read()
+                status = exc.code
+            except Exception as exc:  # pragma: no cover - bench guard
+                errors.append(exc)
+                return
+            answers.append((status, (time.perf_counter() - t0) * 1000.0))
+
+    threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed, answers
+
+
 def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
     def run():
         merged, _ = load_benchmark(DATASET, scale=SCALE, seed=SEED).as_dedup()
@@ -132,11 +194,41 @@ def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
                             snapshot["counters"].get("serve.resolved.records", 0)
                         ),
                     }
-            return scenarios, batch_stats, fit_seconds, len(base)
+
+            # overload: more clients than a 4-deep admission queue absorbs
+            artifacts = workdir / "overload"
+            shutil.copytree(template, artifacts)
+            app = ServeApp(
+                artifacts, port=0, max_batch=64, max_wait_ms=10.0,
+                max_queue=OVERLOAD_QUEUE,
+            )
+            with BackgroundServer(app) as server:
+                overload_elapsed, answers = _run_overload(
+                    server.base_url, arriving, OVERLOAD_REQUESTS,
+                    OVERLOAD_CONCURRENCY,
+                )
+                snapshot = app.metrics.snapshot()
+                shed_counted = int(
+                    snapshot["counters"].get("serve.shed_total", 0)
+                )
+            return (
+                scenarios, batch_stats, fit_seconds, len(base),
+                overload_elapsed, answers, shed_counted,
+            )
         finally:
             shutil.rmtree(workdir, ignore_errors=True)
 
-    scenarios, batch_stats, fit_seconds, base_n = one_shot(benchmark, run)
+    (
+        scenarios, batch_stats, fit_seconds, base_n,
+        overload_elapsed, answers, shed_counted,
+    ) = one_shot(benchmark, run)
+
+    statuses = [status for status, _ms in answers]
+    latencies = np.array([ms for _status, ms in answers])
+    n_shed = statuses.count(503)
+    shed_rate = n_shed / max(len(answers), 1)
+    p50_ms = float(np.percentile(latencies, 50))
+    p99_ms = float(np.percentile(latencies, 99))
 
     seq_seconds = scenarios["sequential-http"]
     conc_seconds = scenarios["micro-batched"]
@@ -162,6 +254,20 @@ def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
             throughput_rps=round(N_RECORDS / conc_seconds, 1),
             engine_batches=batch_stats["micro-batched"]["batches"],
         ),
+        bench_workload(
+            DATASET,
+            "overload-shed",
+            overload_elapsed,
+            speedup=1.0,
+            records=OVERLOAD_REQUESTS,
+            concurrency=OVERLOAD_CONCURRENCY,
+            max_queue=OVERLOAD_QUEUE,
+            answered=len(answers),
+            shed=n_shed,
+            shed_rate=round(shed_rate, 3),
+            latency_p50_ms=round(p50_ms, 2),
+            latency_p99_ms=round(p99_ms, 2),
+        ),
     ]
 
     emit(capfd, "")
@@ -175,12 +281,29 @@ def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
                 "engine_batches": w["engine_batches"],
                 "speedup": w["speedup"],
             }
-            for w in rows
+            for w in rows[:2]
         ],
         ["scenario", "concurrency", "seconds", "throughput_rps",
          "engine_batches", "speedup"],
         title=f"HTTP /resolve throughput ({DATASET}/{SCALE}, base={base_n}, "
               f"{N_RECORDS} arriving records, fit {fit_seconds:.1f}s)",
+    ))
+    emit(capfd, "")
+    emit(capfd, format_table(
+        [
+            {
+                "requests": rows[2]["records"],
+                "concurrency": rows[2]["concurrency"],
+                "max_queue": rows[2]["max_queue"],
+                "answered": rows[2]["answered"],
+                "shed_rate": rows[2]["shed_rate"],
+                "p50_ms": rows[2]["latency_p50_ms"],
+                "p99_ms": rows[2]["latency_p99_ms"],
+            }
+        ],
+        ["requests", "concurrency", "max_queue", "answered", "shed_rate",
+         "p50_ms", "p99_ms"],
+        title="overload: typed shedding with bounded answer latency",
     ))
     report_path = write_bench_report("serve", rows, meta={
         "scale": SCALE,
@@ -190,6 +313,9 @@ def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
         "concurrency": CONCURRENCY,
         "max_batch": 64,
         "max_wait_ms": 10.0,
+        "overload_requests": OVERLOAD_REQUESTS,
+        "overload_concurrency": OVERLOAD_CONCURRENCY,
+        "overload_max_queue": OVERLOAD_QUEUE,
         "initial_fit_sec": round(fit_seconds, 4),
     })
     emit(capfd, f"report written to {report_path}")
@@ -203,3 +329,11 @@ def test_micro_batched_throughput_vs_sequential(benchmark, capfd):
     assert batch_stats["micro-batched"]["batches"] < N_RECORDS
     # the issue's acceptance floor: >= 3x throughput from micro-batching
     assert rows[1]["speedup"] >= MIN_SPEEDUP, rows[1]
+    # overload contract: every request answered, typed statuses only,
+    # real shedding happened, and answer latency stayed bounded
+    assert len(answers) == OVERLOAD_REQUESTS
+    assert set(statuses) <= {200, 503}, sorted(set(statuses))
+    assert n_shed == shed_counted, (n_shed, shed_counted)
+    assert statuses.count(200) > 0, "overload shed everything"
+    assert n_shed > 0, "the overload scenario never overloaded"
+    assert p99_ms <= MAX_SHED_P99_MS, rows[2]

@@ -266,6 +266,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long the first queued request waits for co-batchable "
         "traffic (default: 10)",
     )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound on queued /resolve requests; beyond it the "
+        "server sheds with 503 + Retry-After (default: 256)",
+    )
+    serve.add_argument(
+        "--max-inflight-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound on records admitted but not yet answered "
+        "(default: 8192)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request budget; requests still queued past it "
+        "get 504; clients override via X-Request-Deadline-Ms "
+        "(default: 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds a graceful drain (SIGTERM or POST /admin/drain) may "
+        "spend finishing in-flight work before forcing shutdown "
+        "(default: 10)",
+    )
+    serve.add_argument(
+        "--conn-rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-connection /resolve rate limit in requests/second; "
+        "exceeding it gets 429 (default: 0 = disabled)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
@@ -574,6 +616,18 @@ def _cmd_serve(args) -> int:
         return _fail(f"--max-batch must be >= 1, got {args.max_batch}")
     if args.max_wait_ms is not None and args.max_wait_ms < 0:
         return _fail(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
+    if args.max_queue is not None and args.max_queue < 1:
+        return _fail(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.max_inflight_records is not None and args.max_inflight_records < 1:
+        return _fail(
+            f"--max-inflight-records must be >= 1, got {args.max_inflight_records}"
+        )
+    if args.deadline_ms is not None and args.deadline_ms < 0:
+        return _fail(f"--deadline-ms must be >= 0, got {args.deadline_ms}")
+    if args.drain_timeout is not None and args.drain_timeout < 0:
+        return _fail(f"--drain-timeout must be >= 0, got {args.drain_timeout}")
+    if args.conn_rate_limit is not None and args.conn_rate_limit < 0:
+        return _fail(f"--conn-rate-limit must be >= 0, got {args.conn_rate_limit}")
     try:
         return run_serve(
             args.artifacts,
@@ -581,6 +635,11 @@ def _cmd_serve(args) -> int:
             port=args.port,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            max_inflight_records=args.max_inflight_records,
+            default_deadline_ms=args.deadline_ms,
+            drain_timeout_s=args.drain_timeout,
+            conn_rate_limit=args.conn_rate_limit,
         )
     except (ArtifactError, OSError) as exc:
         # missing/corrupt artifacts, or the port is taken

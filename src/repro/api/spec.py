@@ -324,6 +324,20 @@ class ServeSpec:
     #: Milliseconds the first queued request waits for co-batchable
     #: traffic; ``0`` coalesces only already-queued requests.
     max_wait_ms: float = 10.0
+    #: Admission bound on ``/resolve`` requests waiting to be batched;
+    #: submissions beyond it are shed with 503 + ``Retry-After``.
+    max_queue: int = 256
+    #: Admission bound on total records admitted but not yet answered.
+    max_inflight_records: int = 8192
+    #: Default per-request budget in milliseconds (``0`` disables);
+    #: clients override per request via ``X-Request-Deadline-Ms``.
+    default_deadline_ms: float = 0.0
+    #: Seconds a graceful drain (SIGTERM / ``POST /admin/drain``) may
+    #: spend finishing in-flight work before forcing shutdown.
+    drain_timeout_s: float = 10.0
+    #: Per-connection ``/resolve`` rate limit in requests/second
+    #: (token bucket, 429 when exceeded; ``0`` disables).
+    conn_rate_limit: float = 0.0
 
     def __post_init__(self):
         if not isinstance(self.host, str) or not self.host:
@@ -332,16 +346,25 @@ class ServeSpec:
             raise SpecError(f"port must be an int, got {self.port!r}")
         if not 0 <= self.port <= 65535:
             raise SpecError(f"port must be in [0, 65535], got {self.port}")
-        if not isinstance(self.max_batch, int) or isinstance(self.max_batch, bool):
-            raise SpecError(f"max_batch must be an int, got {self.max_batch!r}")
-        if self.max_batch < 1:
-            raise SpecError(f"max_batch must be >= 1, got {self.max_batch}")
-        if (
-            not isinstance(self.max_wait_ms, (int, float))
-            or isinstance(self.max_wait_ms, bool)
-            or self.max_wait_ms < 0
+        for name in ("max_batch", "max_queue", "max_inflight_records"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SpecError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise SpecError(f"{name} must be >= 1, got {value}")
+        for name in (
+            "max_wait_ms",
+            "default_deadline_ms",
+            "drain_timeout_s",
+            "conn_rate_limit",
         ):
-            raise SpecError(f"max_wait_ms must be a number >= 0, got {self.max_wait_ms!r}")
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                raise SpecError(f"{name} must be a number >= 0, got {value!r}")
 
     def replace(self, **changes) -> "ServeSpec":
         """A copy with the given fields replaced (CLI-flag overrides)."""
@@ -354,17 +377,41 @@ class ServeSpec:
             "port": self.port,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_ms,
+            "max_queue": self.max_queue,
+            "max_inflight_records": self.max_inflight_records,
+            "default_deadline_ms": self.default_deadline_ms,
+            "drain_timeout_s": self.drain_timeout_s,
+            "conn_rate_limit": self.conn_rate_limit,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeSpec":
         """Validate a ``serve`` payload into a :class:`ServeSpec`."""
-        _require_keys(data, ("host", "port", "max_batch", "max_wait_ms"), "serve")
+        _require_keys(
+            data,
+            (
+                "host",
+                "port",
+                "max_batch",
+                "max_wait_ms",
+                "max_queue",
+                "max_inflight_records",
+                "default_deadline_ms",
+                "drain_timeout_s",
+                "conn_rate_limit",
+            ),
+            "serve",
+        )
         return cls(
             host=data.get("host", "127.0.0.1"),
             port=data.get("port", 8707),
             max_batch=data.get("max_batch", 64),
             max_wait_ms=data.get("max_wait_ms", 10.0),
+            max_queue=data.get("max_queue", 256),
+            max_inflight_records=data.get("max_inflight_records", 8192),
+            default_deadline_ms=data.get("default_deadline_ms", 0.0),
+            drain_timeout_s=data.get("drain_timeout_s", 10.0),
+            conn_rate_limit=data.get("conn_rate_limit", 0.0),
         )
 
 

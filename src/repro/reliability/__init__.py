@@ -34,6 +34,7 @@ from repro.reliability.faultinject import (
     FaultInjector,
     SimulatedCrash,
     inject,
+    inject_global,
     record_failpoints,
 )
 from repro.reliability.health import (
@@ -71,6 +72,7 @@ __all__ = [
     "FaultInjector",
     "SimulatedCrash",
     "inject",
+    "inject_global",
     "record_failpoints",
     "EMPTY_CANDIDATE_SET",
     "ALL_NAN_FEATURE_COLUMN",

@@ -23,12 +23,24 @@ Two failure flavors:
 :func:`record_failpoints` runs a callable under a pass-through injector and
 returns every failpoint hit in order, so tests can enumerate the crash
 surface of an operation instead of hard-coding point names.
+
+Serve-layer chaos: the serving package trips failpoints of its own —
+``serve.engine.pass`` (inside the micro-batched engine pass),
+``serve.writer.job`` (reload/save jobs on the writer thread),
+``serve.reload`` (artifact hot-reload), and ``serve.http.write_response``
+(just before a response hits the socket). Because the serving process runs
+its event loop and writer thread outside the test's context,
+:func:`inject_global` installs an injector visible from *every* thread; and
+because overload chaos needs slowness as well as crashes, arms can carry a
+``delay_s`` (sleep, then optionally raise) and a ``times`` repeat count.
 """
 
 from __future__ import annotations
 
 import contextlib
 import contextvars
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,6 +48,7 @@ __all__ = [
     "SimulatedCrash",
     "FaultInjector",
     "inject",
+    "inject_global",
     "trip",
     "active_injector",
     "hard_crash_active",
@@ -51,13 +64,24 @@ class SimulatedCrash(Exception):
 
 @dataclass
 class _Arm:
-    """One armed failure: fires when its countdown reaches zero."""
+    """One armed failure: fires when its countdown reaches zero.
+
+    ``delay_s`` sleeps before (optionally) raising, so an arm can model a
+    slow path — ``exc=None`` makes it delay-only. ``times`` is how many
+    firings the arm has left; ``None`` means it never exhausts.
+    """
 
     countdown: int
-    exc: BaseException | type[BaseException]
+    exc: BaseException | type[BaseException] | None
+    delay_s: float = 0.0
+    times: int | None = 1
 
     def fire(self, name: str) -> None:
+        if self.delay_s > 0:
+            time.sleep(self.delay_s)
         exc = self.exc
+        if exc is None:
+            return
         if isinstance(exc, type):
             exc = exc(f"injected failure at failpoint {name!r}")
         raise exc
@@ -88,10 +112,18 @@ class FaultInjector:
         name: str,
         *,
         after: int = 0,
-        exc: BaseException | type[BaseException] = SimulatedCrash,
+        exc: BaseException | type[BaseException] | None = SimulatedCrash,
+        delay_s: float = 0.0,
+        times: int | None = 1,
     ) -> "FaultInjector":
-        """Fail at the ``(after + 1)``-th hit of failpoint ``name``."""
-        self._by_name[name] = _Arm(countdown=after, exc=exc)
+        """Fail at the ``(after + 1)``-th hit of failpoint ``name``.
+
+        ``delay_s`` sleeps before raising (with ``exc=None``: delay only —
+        a slow path rather than a dead one). ``times`` repeats the firing
+        for that many hits (``None`` = every hit), modeling sustained
+        slowness or a flapping fault instead of a one-shot crash.
+        """
+        self._by_name[name] = _Arm(countdown=after, exc=exc, delay_s=delay_s, times=times)
         return self
 
     def arm_hit(
@@ -118,15 +150,24 @@ class FaultInjector:
             arm.fire(name)
         arm = self._by_name.get(name)
         if arm is not None:
-            if arm.countdown == 0:
-                del self._by_name[name]
-                arm.fire(name)
-            arm.countdown -= 1
+            if arm.countdown > 0:
+                arm.countdown -= 1
+                return
+            if arm.times is not None:
+                arm.times -= 1
+                if arm.times <= 0:
+                    del self._by_name[name]
+            arm.fire(name)
 
 
 _CURRENT: contextvars.ContextVar[FaultInjector | None] = contextvars.ContextVar(
     "repro_fault_injector", default=None
 )
+
+# Cross-thread injector: the serving layer's failpoints fire on the event
+# loop and the writer thread, which never see a test's contextvars.
+_GLOBAL: FaultInjector | None = None
+_GLOBAL_LOCK = threading.Lock()
 
 
 @contextlib.contextmanager
@@ -139,20 +180,41 @@ def inject(injector: FaultInjector):
         _CURRENT.reset(token)
 
 
+@contextlib.contextmanager
+def inject_global(injector: FaultInjector):
+    """Install ``injector`` process-wide, visible from every thread.
+
+    The context-local :func:`inject` cannot reach code on other threads
+    (a server's event loop, the batcher's writer thread); this one can.
+    Only one global injector may be active at a time — chaos tests are
+    expected to serialize.
+    """
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is not None:
+            raise RuntimeError("a global FaultInjector is already installed")
+        _GLOBAL = injector
+    try:
+        yield injector
+    finally:
+        with _GLOBAL_LOCK:
+            _GLOBAL = None
+
+
 def active_injector() -> FaultInjector | None:
-    return _CURRENT.get()
+    return _CURRENT.get() or _GLOBAL
 
 
 def trip(name: str) -> None:
     """Hit a failpoint: no-op unless a :class:`FaultInjector` is installed."""
-    injector = _CURRENT.get()
+    injector = _CURRENT.get() or _GLOBAL
     if injector is not None:
         injector.trip(name)
 
 
 def hard_crash_active() -> bool:
     """Whether cleanup paths should behave as if the process just died."""
-    injector = _CURRENT.get()
+    injector = _CURRENT.get() or _GLOBAL
     return injector is not None and injector.hard
 
 

@@ -15,14 +15,22 @@ Guarantees the tests pin down: concurrent resolves are micro-batched into
 single columnar engine passes; store mutation is single-writer with
 consistent :meth:`~repro.incremental.store.EntityStore.snapshot` reads;
 ``SIGHUP`` / ``POST /admin/reload`` hot-swaps the artifact's ``CURRENT``
-version with zero failed in-flight requests.
+version with zero failed in-flight requests; overload sheds with typed
+503/429/504 responses instead of queueing unboundedly, and ``SIGTERM`` /
+``POST /admin/drain`` drains gracefully — every admitted request gets an
+answer, then the process exits.
 
-See ``docs/serving.md`` for the deployment runbook.
+See ``docs/serving.md`` for the deployment and overload/shutdown runbooks.
 """
 
 from repro.serve.app import BackgroundServer, ServeApp, run_serve
-from repro.serve.batcher import MicroBatcher
-from repro.serve.protocol import ProtocolError, ResolveRequest
+from repro.serve.batcher import (
+    BatcherClosed,
+    DeadlineExpired,
+    MicroBatcher,
+    Overloaded,
+)
+from repro.serve.protocol import ProtocolError, ResolveRequest, ShedError
 from repro.serve.state import ServingState
 
 __all__ = [
@@ -30,7 +38,11 @@ __all__ = [
     "BackgroundServer",
     "run_serve",
     "MicroBatcher",
+    "Overloaded",
+    "DeadlineExpired",
+    "BatcherClosed",
     "ServingState",
     "ProtocolError",
+    "ShedError",
     "ResolveRequest",
 ]

@@ -13,6 +13,15 @@ Hot reload: ``SIGHUP`` (where the platform has it, main thread only) and
 ``POST /admin/reload`` both funnel
 :meth:`~repro.serve.state.ServingState.reload` through the batcher's
 writer thread, so a swap never overlaps an in-flight resolve.
+
+Graceful drain: ``SIGTERM`` and ``POST /admin/drain`` both call
+:meth:`ServeApp.begin_drain` — ``/healthz`` flips to ``draining`` (503),
+new resolves are shed with typed 503s, the listener closes, in-flight
+batches finish within the configured ``drain_timeout_s`` (overruns are
+*forced*: unanswered requests get a typed error, never silence), then
+every surviving keep-alive connection is closed and
+:meth:`ServeApp.serve_forever` returns. A drained app never restarts; run
+a new process.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
+import time
 
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.batcher import MicroBatcher
@@ -37,7 +47,8 @@ class ServeApp:
     ----------
     artifacts:
         Artifact root to serve (``CURRENT``-pointer layout or legacy flat).
-    host / port / max_batch / max_wait_ms:
+    host / port / max_batch / max_wait_ms / max_queue / max_inflight_records /
+    default_deadline_ms / drain_timeout_s / conn_rate_limit:
         Overrides for the corresponding :class:`~repro.api.spec.ServeSpec`
         fields. ``None`` falls back to the spec embedded in the artifacts
         (``pipeline_spec.serve``), then to the spec defaults. ``port=0``
@@ -52,12 +63,22 @@ class ServeApp:
         port: int | None = None,
         max_batch: int | None = None,
         max_wait_ms: float | None = None,
+        max_queue: int | None = None,
+        max_inflight_records: int | None = None,
+        default_deadline_ms: float | None = None,
+        drain_timeout_s: float | None = None,
+        conn_rate_limit: float | None = None,
     ):
         self._overrides = {
             "host": host,
             "port": port,
             "max_batch": max_batch,
             "max_wait_ms": max_wait_ms,
+            "max_queue": max_queue,
+            "max_inflight_records": max_inflight_records,
+            "default_deadline_ms": default_deadline_ms,
+            "drain_timeout_s": drain_timeout_s,
+            "conn_rate_limit": conn_rate_limit,
         }
         self.state = ServingState(artifacts)
         self.metrics = MetricsRegistry()
@@ -66,7 +87,13 @@ class ServeApp:
         self.batcher: MicroBatcher | None = None
         self.router: Router | None = None
         self._server: asyncio.Server | None = None
-        self._sighup_installed = False
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._shutdown: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
+        #: ``True`` once a drain finished within its budget, ``False`` once
+        #: one was forced, ``None`` before any drain.
+        self.drained_clean: bool | None = None
+        self._signals_installed: list = []
 
     def _effective_config(self):
         """Overrides > artifact-embedded ``serve`` spec > defaults."""
@@ -90,32 +117,47 @@ class ServeApp:
             self.state.execute_batch,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+            max_inflight_records=self.config.max_inflight_records,
             # self.router exists before the batcher can execute anything
             on_batch=lambda n_req, n_rec: self.router.observe_batch(n_req, n_rec),
         )
-        self.router = Router(self.state, self.batcher, self.metrics)
+        self.router = Router(
+            self.state,
+            self.batcher,
+            self.metrics,
+            config=self.config,
+            on_drain=self.begin_drain,
+        )
+        self._shutdown = asyncio.Event()
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
-        self._install_sighup()
+        self._install_signals()
 
     async def stop(self) -> None:
-        """Stop accepting, drain the batcher, release the socket."""
-        self._remove_sighup()
+        """Stop accepting, drain the batcher, release the socket.
+
+        Idempotent, and safe after a drain: everything here is a no-op for
+        resources the drain already released.
+        """
+        self._remove_signals()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self.batcher is not None:
             await self.batcher.stop()
-            self.batcher = None
+        self._close_connections()
+        if self._shutdown is not None:
+            self._shutdown.set()
 
     async def serve_forever(self) -> None:
-        """Block until cancelled (the CLI's main loop)."""
-        if self._server is None:
+        """Block until the app is drained or cancelled (the CLI's main loop)."""
+        if self._shutdown is None:
             raise RuntimeError("ServeApp is not started")
-        await self._server.serve_forever()
+        await self._shutdown.wait()
 
     @property
     def bound_port(self) -> int:
@@ -130,40 +172,125 @@ class ServeApp:
         return f"http://{self.config.host}:{self.bound_port}"
 
     async def _handle_connection(self, reader, writer) -> None:
-        await serve_connection(reader, writer, self.router.dispatch)
+        self._connections.add(writer)
+        try:
+            await serve_connection(
+                reader,
+                writer,
+                self.router.dispatch,
+                should_close=lambda: self.state.draining,
+            )
+        finally:
+            self._connections.discard(writer)
+
+    def _close_connections(self) -> None:
+        """Force-close every tracked connection (idle keep-alives included)."""
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport teardown race
+                pass
+
+    # -- graceful drain ----------------------------------------------------------
+
+    def begin_drain(self, reason: str = "admin") -> dict:
+        """Begin graceful drain; returns immediately with a status dict.
+
+        Idempotent — a second call reports the drain already in progress.
+        Must be called on the event-loop thread (signal handlers and HTTP
+        handlers both are). The actual drain runs as a background task so
+        the triggering request can still be answered.
+        """
+        if self.state.draining:
+            return {
+                "already_draining": True,
+                "drain_timeout_s": self.config.drain_timeout_s,
+            }
+        self.state.draining = True
+        self.state.drain_started_at = time.time()
+        self.metrics.gauge_set("serve.draining", 1)
+        self.metrics.counter_add("serve.drains")
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain(), name="repro-serve-drain"
+        )
+        return {
+            "reason": reason,
+            "drain_timeout_s": self.config.drain_timeout_s,
+            "inflight_records": self.batcher.inflight_records,
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    async def _drain(self) -> None:
+        """The drain sequence: finish in-flight, stop listening, disconnect.
+
+        The listener stays open while the batcher drains so ``/healthz``
+        keeps answering (``draining``, 503) and late resolves get their
+        typed 503 + ``Retry-After`` instead of a connection refused —
+        monitoring and load balancers see the state change, they don't
+        infer it from dead sockets.
+        """
+        # 1. finish everything admitted, within the budget; a stalled writer
+        #    or pathological backlog is forced — every unanswered request
+        #    gets a typed BatcherClosed, never silence
+        self.drained_clean = await self.batcher.stop(
+            timeout=self.config.drain_timeout_s
+        )
+        if not self.drained_clean:
+            self.metrics.counter_add("serve.drain.forced")
+        # 2. now refuse new connections
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # 3. give in-flight responses one scheduler pass to flush, then cut
+        #    surviving keep-alive connections (responses during drain carry
+        #    Connection: close, so most are gone already)
+        await asyncio.sleep(0)
+        self._close_connections()
+        self._shutdown.set()
 
     # -- signals -----------------------------------------------------------------
 
-    def _install_sighup(self) -> None:
-        """SIGHUP → hot reload; skipped off the main thread and off POSIX."""
-        if not hasattr(signal, "SIGHUP"):
-            return
+    def _install_signals(self) -> None:
+        """SIGHUP → hot reload, SIGTERM → drain; main thread + POSIX only."""
         if threading.current_thread() is not threading.main_thread():
             return
         loop = asyncio.get_running_loop()
-        try:
-            loop.add_signal_handler(signal.SIGHUP, self._on_sighup)
-        except (NotImplementedError, RuntimeError):  # pragma: no cover - platform
-            return
-        self._sighup_installed = True
+        for name, handler in (("SIGHUP", self._on_sighup), ("SIGTERM", self._on_sigterm)):
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, handler)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - platform
+                continue
+            self._signals_installed.append(signum)
 
-    def _remove_sighup(self) -> None:
-        if not self._sighup_installed:
-            return
-        asyncio.get_running_loop().remove_signal_handler(signal.SIGHUP)
-        self._sighup_installed = False
+    def _remove_signals(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in self._signals_installed:
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - platform
+                pass
+        self._signals_installed = []
 
     def _on_sighup(self) -> None:
         asyncio.get_running_loop().create_task(self._reload_from_signal())
 
+    def _on_sigterm(self) -> None:
+        info = self.begin_drain(reason="sigterm")
+        print(f"SIGTERM received, draining: {info}", flush=True)
+
     async def _reload_from_signal(self) -> None:
         from repro.serve.protocol import ProtocolError
+        from repro.serve.batcher import BatcherClosed
 
         try:
             info = await self.batcher.run_serialized(self.state.reload)
             self.metrics.counter_add("serve.reloads")
             print(f"reloaded artifacts: {info}", flush=True)
-        except ProtocolError as exc:  # keep serving the previous version
+        except (ProtocolError, BatcherClosed) as exc:  # keep serving as-is
             print(f"reload failed: {exc}", flush=True)
 
 
@@ -190,16 +317,20 @@ class BackgroundServer:
             target=self._run, name="repro-serve", daemon=True
         )
         self._thread.start()
-        self._started.wait(timeout=60)
+        if not self._started.wait(timeout=60):
+            raise RuntimeError("server did not start within 60s")
         if self._startup_error is not None:
             raise self._startup_error
         if self.base_url is None:
-            raise RuntimeError("server did not start within 60s")
+            raise RuntimeError("server thread exited without starting")
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed (self-drained app)
+                pass
         if self._thread is not None:
             self._thread.join(timeout=60)
 
@@ -219,9 +350,14 @@ class BackgroundServer:
         await self.app.start()
         self.base_url = self.app.base_url
         self._started.set()
+        stop = asyncio.ensure_future(self._stop_event.wait())
+        drained = asyncio.ensure_future(self.app.serve_forever())
         try:
-            await self._stop_event.wait()
+            # exits on __exit__ *or* when the app drains itself to death
+            await asyncio.wait((stop, drained), return_when=asyncio.FIRST_COMPLETED)
         finally:
+            stop.cancel()
+            drained.cancel()
             await self.app.stop()
 
 
@@ -232,14 +368,24 @@ def run_serve(
     port: int | None = None,
     max_batch: int | None = None,
     max_wait_ms: float | None = None,
+    max_queue: int | None = None,
+    max_inflight_records: int | None = None,
+    default_deadline_ms: float | None = None,
+    drain_timeout_s: float | None = None,
+    conn_rate_limit: float | None = None,
 ) -> int:
-    """Start a server and block until interrupted (the CLI entry point)."""
+    """Start a server and block until drained or interrupted (CLI entry)."""
     app = ServeApp(
         artifacts,
         host=host,
         port=port,
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
+        max_queue=max_queue,
+        max_inflight_records=max_inflight_records,
+        default_deadline_ms=default_deadline_ms,
+        drain_timeout_s=drain_timeout_s,
+        conn_rate_limit=conn_rate_limit,
     )
 
     async def main() -> None:
@@ -248,7 +394,9 @@ def run_serve(
             f"serving {app.state.artifacts} ({app.state.version}) "
             f"on {app.base_url} "
             f"(max_batch={app.config.max_batch}, "
-            f"max_wait_ms={app.config.max_wait_ms})",
+            f"max_wait_ms={app.config.max_wait_ms}, "
+            f"max_queue={app.config.max_queue}, "
+            f"drain_timeout_s={app.config.drain_timeout_s})",
             flush=True,
         )
         try:
@@ -257,6 +405,9 @@ def run_serve(
             pass
         finally:
             await app.stop()
+        if app.state.draining:
+            outcome = "clean" if app.drained_clean else "forced"
+            print(f"drained ({outcome}), exiting", flush=True)
 
     try:
         asyncio.run(main())

@@ -4,21 +4,30 @@ The container has no web framework and the project adds no dependencies,
 so the transport is ~150 lines of stdlib asyncio: parse a request line +
 headers + ``Content-Length`` body from a :class:`asyncio.StreamReader`,
 hand the typed :class:`HttpRequest` to an async ``dispatch`` callable that
-returns ``(status, json_body)``, write the response, keep the connection
-alive. It deliberately implements only what the service speaks — JSON
-bodies, ``Content-Length`` framing, keep-alive — and answers everything
-else (chunked uploads, oversized bodies, garbled request lines) with a
-clean 4xx/5xx instead of a stack trace.
+returns ``(status, json_body, extra_headers)``, write the response, keep
+the connection alive. It deliberately implements only what the service
+speaks — JSON bodies, ``Content-Length`` framing, keep-alive — and answers
+everything else (chunked uploads, oversized bodies, garbled request lines)
+with a clean 4xx/5xx instead of a stack trace.
+
+Each connection carries a :class:`ConnectionInfo` (attached to every
+request it produces) so per-connection policy — the router's token-bucket
+rate limiting — has somewhere to live, and a ``should_close`` hook lets a
+draining server convert keep-alive connections to ``Connection: close`` so
+clients re-resolve to a healthy instance instead of riding a dying one.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
-__all__ = ["HttpRequest", "serve_connection"]
+from repro.reliability.faultinject import trip
+
+__all__ = ["ConnectionInfo", "HttpRequest", "serve_connection"]
 
 #: Hard cap on a single header line (request line included).
 MAX_LINE_BYTES = 8192
@@ -36,10 +45,33 @@ _REASONS = {
     411: "Length Required",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+_CONN_IDS = itertools.count(1)
+
+
+@dataclass
+class ConnectionInfo:
+    """Per-connection state shared by every request on one socket.
+
+    The transport creates one per accepted connection; policy layers hang
+    their per-connection accounting off it (the router's rate-limit token
+    bucket lives in ``rate_tokens``/``rate_refilled_at``).
+    """
+
+    #: Monotone connection counter (diagnostics only).
+    conn_id: int = field(default_factory=lambda: next(_CONN_IDS))
+    #: Requests parsed off this connection so far.
+    n_requests: int = 0
+    #: Token-bucket level for per-connection rate limiting (router-owned).
+    rate_tokens: float | None = None
+    #: ``loop.time()`` of the last bucket refill (router-owned).
+    rate_refilled_at: float | None = None
 
 
 @dataclass
@@ -54,6 +86,9 @@ class HttpRequest:
     #: Headers with lower-cased names.
     headers: dict = field(default_factory=dict)
     body: bytes = b""
+    #: The connection this request arrived on (``None`` in direct-dispatch
+    #: unit tests that never touch a socket).
+    conn: ConnectionInfo | None = None
 
 
 class _BadRequest(Exception):
@@ -130,7 +165,9 @@ async def _read_request(
     )
 
 
-def _encode_response(status: int, body: dict, *, close: bool) -> bytes:
+def _encode_response(
+    status: int, body: dict, *, close: bool, extra_headers: dict | None = None
+) -> bytes:
     try:
         payload = json.dumps(body, allow_nan=False).encode("utf-8")
     except (TypeError, ValueError):
@@ -141,13 +178,15 @@ def _encode_response(status: int, body: dict, *, close: bool) -> bytes:
             {"error": "response was not JSON-serializable", "status": 500}
         ).encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(payload)}\r\n"
-        f"Connection: {'close' if close else 'keep-alive'}\r\n"
-        "\r\n"
-    )
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + payload
 
 
@@ -157,13 +196,18 @@ async def serve_connection(
     dispatch,
     *,
     max_body: int = MAX_BODY_BYTES,
+    should_close=None,
 ) -> None:
     """Serve one client connection until EOF, error, or ``Connection: close``.
 
-    ``dispatch`` is an ``async (HttpRequest) -> (status, body_dict)``
-    callable; anything it raises is answered as a 500 with a generic body
-    (handlers are expected to catch their own errors first).
+    ``dispatch`` is an ``async (HttpRequest) -> (status, body_dict,
+    extra_headers)`` callable; anything it raises is answered as a 500 with
+    a generic body (handlers are expected to catch their own errors first).
+    ``should_close`` is polled per response; when it returns True (the
+    server is draining) the response carries ``Connection: close`` and the
+    socket is shut down cleanly afterwards.
     """
+    conn = ConnectionInfo()
     try:
         while True:
             try:
@@ -180,15 +224,30 @@ async def serve_connection(
                 return
             if request is None:
                 return
+            request.conn = conn
+            conn.n_requests += 1
             try:
-                status, body = await dispatch(request)
+                status, body, extra_headers = await dispatch(request)
             except Exception:  # dispatch must not kill the acceptor
-                status, body = 500, {"error": "internal server error", "status": 500}
+                status, body, extra_headers = (
+                    500,
+                    {"error": "internal server error", "status": 500},
+                    None,
+                )
             wants_close = (
                 request.headers.get("connection", "").lower() == "close"
+                or (should_close is not None and should_close())
             )
             try:
-                writer.write(_encode_response(status, body, close=wants_close))
+                # chaos failpoint: a connection reset between computing the
+                # response and flushing it (client sees a dead socket, the
+                # server must carry on serving everyone else)
+                trip("serve.http.write_response")
+                writer.write(
+                    _encode_response(
+                        status, body, close=wants_close, extra_headers=extra_headers
+                    )
+                )
                 await writer.drain()
             except ConnectionError:
                 return

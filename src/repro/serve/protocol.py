@@ -17,16 +17,22 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "ProtocolError",
+    "ShedError",
     "ResolveRequest",
     "ExplainQuery",
     "parse_resolve_request",
+    "parse_deadline_ms",
     "resolve_response",
     "explain_response",
     "error_body",
+    "DEADLINE_HEADER",
 ]
 
 #: Upper bound on records accepted in one ``/resolve`` request body.
 MAX_RECORDS_PER_REQUEST = 10_000
+
+#: Per-request deadline override header (milliseconds of total budget).
+DEADLINE_HEADER = "x-request-deadline-ms"
 
 
 class ProtocolError(Exception):
@@ -42,6 +48,30 @@ class ProtocolError(Exception):
         self.status = int(status)
 
 
+class ShedError(ProtocolError):
+    """A request refused by overload protection rather than by validation.
+
+    Carries the typed shed ``reason`` (``"queue_full"``,
+    ``"inflight_records"``, ``"rate_limited"``, ``"deadline"``,
+    ``"draining"``) surfaced in the ``serve.shed.<reason>`` metrics, and an
+    optional ``retry_after`` hint emitted as a ``Retry-After`` header —
+    clients should back off and retry, nothing about the request itself is
+    wrong.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        reason: str,
+        retry_after: float | None = None,
+    ):
+        super().__init__(status, message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 def error_body(status: int, message: str) -> dict:
     """The uniform JSON error envelope: ``{"error": ..., "status": ...}``."""
     return {"error": str(message), "status": int(status)}
@@ -55,6 +85,10 @@ class ResolveRequest:
     records: tuple = ()
     #: Ids of ``records``, in order (extracted during validation).
     record_ids: tuple = ()
+    #: Absolute expiry on the event loop's clock (``loop.time()``), or
+    #: ``None`` for no deadline. A request still queued past this instant
+    #: is answered 504 instead of executing.
+    deadline: float | None = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,30 @@ def _load_json(body: bytes) -> object:
         return json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+def parse_deadline_ms(headers: dict, default_ms: float) -> float | None:
+    """Effective request budget in milliseconds, or ``None`` for unbounded.
+
+    The client's :data:`DEADLINE_HEADER` overrides the server's configured
+    default; ``0`` (from either source) means no deadline. A header value
+    that is not a positive number is a 400 — a garbled deadline silently
+    treated as "no deadline" would be the worst possible reading.
+    """
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return float(default_ms) if default_ms and default_ms > 0 else None
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ProtocolError(
+            400, f"{DEADLINE_HEADER} must be a number of milliseconds, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ProtocolError(
+            400, f"{DEADLINE_HEADER} must be >= 0, got {value}"
+        )
+    return value if value > 0 else None
 
 
 def parse_resolve_request(body: bytes, id_attr: str) -> ResolveRequest:

@@ -22,6 +22,8 @@ from pathlib import Path
 
 from repro.incremental.artifacts import CURRENT_NAME, artifact_dir
 from repro.incremental.resolver import IncrementalResolver
+from repro.reliability.atomic import cleanup_stale_tmp
+from repro.reliability.faultinject import trip
 from repro.reliability.health import HealthReport, health_scope
 from repro.serve.protocol import ProtocolError, ResolveRequest
 
@@ -51,6 +53,11 @@ class ServingState:
         self.loaded_at: float | None = None
         #: Completed reloads since startup.
         self.n_reloads = 0
+        #: True once graceful drain has begun: ``/healthz`` reports
+        #: ``draining`` (503) and new resolves are shed.
+        self.draining = False
+        #: Wall-clock time drain began, or ``None``.
+        self.drain_started_at: float | None = None
         self._health = HealthReport()
         # health is merged from the writer thread and read (to_dict) from
         # the event loop; HealthReport itself is not thread-safe
@@ -71,8 +78,11 @@ class ServingState:
 
         Raises :class:`~repro.incremental.artifacts.ArtifactError` when the
         root is missing or corrupt — the server refuses to start rather
-        than serving nothing.
+        than serving nothing. Stale ``.tmp-`` leftovers from crashed saves
+        are swept first, so a previous process dying mid-save does not
+        accumulate litter under the versioned layout.
         """
+        cleanup_stale_tmp(self.artifacts)
         self._resolver = self._load_resolver()
         self.version = self._detect_version()
         now = time.time()
@@ -92,6 +102,7 @@ class ServingState:
         """
         previous = self.version
         try:
+            trip("serve.reload")
             resolver = self._load_resolver()
         except Exception as exc:
             with self._health_lock:
@@ -119,9 +130,12 @@ class ServingState:
 
         Publishes through the versioned ``CURRENT``-pointer layout, so a
         subsequent :meth:`reload` (or a fresh process) starts from exactly
-        this state.
+        this state. Sweeps ``.tmp-`` staging leftovers afterwards — a save
+        that crashed part-way on a *previous* attempt must not leave litter
+        accumulating next to the published versions.
         """
         self.resolver.save(self.artifacts)
+        cleanup_stale_tmp(self.artifacts)
         version = self._detect_version()
         return {
             "saved_version": version,
@@ -179,6 +193,10 @@ class ServingState:
             return outcomes
         records = [dict(rec) for i in accepted for rec in requests[i].records]
         try:
+            # chaos failpoint: a slow (delay-armed) or failing engine pass —
+            # placed before resolver.resolve so an injected crash leaves the
+            # store untouched (old state, never a third one)
+            trip("serve.engine.pass")
             result = resolver.resolve(records)
         except Exception as exc:
             for i in accepted:

@@ -329,6 +329,7 @@ class TestHotReload:
         )[0] == 200
         status, reloaded = _call(server.base_url, "/admin/reload", "POST")
         assert status == 200
+        assert reloaded.pop("server_time_ms") >= 0
         assert reloaded == {
             "reloaded": True,
             "previous_version": "v000001",

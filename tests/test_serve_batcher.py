@@ -5,7 +5,10 @@ serving layer depends on are pinned down without sockets or a model:
 concurrent submissions coalesce into few batches, ``max_batch`` bounds the
 records per engine pass, a per-request failure reaches only its own
 submitter, and :meth:`MicroBatcher.run_serialized` never overlaps a batch
-(the single-writer guarantee hot-reload rides on).
+(the single-writer guarantee hot-reload rides on). The overload classes
+pin the admission/deadline/drain contract: sheds are immediate and typed,
+expiry never reaches the engine, cancellation and stop() races leak no
+inflight weight and strand no submitter.
 """
 
 import asyncio
@@ -15,7 +18,12 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import (
+    BatcherClosed,
+    DeadlineExpired,
+    MicroBatcher,
+    Overloaded,
+)
 
 
 @dataclass(frozen=True)
@@ -292,3 +300,283 @@ class TestLifecycle:
             MicroBatcher(lambda reqs: [], max_batch=0)
         with pytest.raises(ValueError, match="max_wait_ms"):
             MicroBatcher(lambda reqs: [], max_wait_ms=-1.0)
+
+
+@dataclass(frozen=True)
+class DeadlineReq:
+    """Request with an absolute expiry, as /resolve builds them."""
+
+    records: tuple = ("x",)
+    deadline: float | None = None
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_immediately(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def execute(requests):
+            started.set()
+            release.wait(timeout=5)
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0, max_queue=2)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            # one request pinned on the writer thread + a full queue behind it
+            blocker = loop.create_task(batcher.submit(Req()))
+            await asyncio.to_thread(started.wait, 5)
+            queued = [loop.create_task(batcher.submit(Req())) for _ in range(2)]
+            while batcher.queue_depth < 2:
+                await asyncio.sleep(0.01)
+            with pytest.raises(Overloaded) as exc_info:
+                await batcher.submit(Req())
+            release.set()
+            results = await asyncio.gather(blocker, *queued)
+            await batcher.stop()
+            return exc_info.value, results
+
+        exc, results = _run(main)
+        assert exc.reason == "queue_full"
+        # the shed was immediate and nobody admitted was harmed
+        assert results == ["ok"] * 3
+
+    def test_inflight_record_budget_sheds(self):
+        release = threading.Event()
+
+        def execute(requests):
+            release.wait(timeout=5)
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(
+                execute, max_batch=4, max_wait_ms=0.0, max_inflight_records=4
+            )
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            first = loop.create_task(batcher.submit(Req(records=("a", "b", "c"))))
+            while batcher.inflight_records < 3:
+                await asyncio.sleep(0.01)
+            with pytest.raises(Overloaded) as exc_info:
+                await batcher.submit(Req(records=("d", "e")))
+            release.set()
+            result = await first
+            await batcher.stop()
+            return exc_info.value, result, batcher.inflight_records
+
+        exc, result, inflight_after = _run(main)
+        assert exc.reason == "inflight_records"
+        assert result == "ok"
+        assert inflight_after == 0
+
+    def test_oversized_request_admitted_when_idle(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            # the single request is over the budget, but nothing is in
+            # flight, so it must still make progress
+            batcher = MicroBatcher(execute, max_inflight_records=2)
+            await batcher.start()
+            try:
+                return await batcher.submit(Req(records=("a", "b", "c", "d")))
+            finally:
+                await batcher.stop()
+
+        assert _run(main) == "ok"
+
+    def test_shed_request_leaves_no_inflight_weight(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_inflight_records=4)
+            await batcher.start()
+            await batcher.submit(Req(records=("a",)))
+            assert batcher.inflight_records == 0
+            await batcher.stop()
+
+        _run(main)
+
+
+class TestDeadlines:
+    def test_expired_while_queued_gets_deadline_expired(self):
+        release = threading.Event()
+        executed = []
+
+        def execute(requests):
+            release.wait(timeout=5)
+            executed.extend(requests)
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            blocker = loop.create_task(batcher.submit(Req()))
+            await asyncio.sleep(0.05)  # blocker is on the writer thread now
+            doomed = loop.create_task(
+                batcher.submit(DeadlineReq(deadline=loop.time() + 0.05))
+            )
+            await asyncio.sleep(0.2)  # let the deadline lapse while queued
+            release.set()
+            outcomes = await asyncio.gather(blocker, doomed, return_exceptions=True)
+            await batcher.stop()
+            return outcomes, batcher.n_expired
+
+        (blocker_out, doomed_out), n_expired = _run(main)
+        assert blocker_out == "ok"
+        assert isinstance(doomed_out, DeadlineExpired)
+        assert n_expired == 1
+        # the expired request never reached the engine
+        assert all(not isinstance(r, DeadlineReq) for r in executed)
+
+    def test_unexpired_deadline_executes_normally(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_wait_ms=0.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            try:
+                return await batcher.submit(
+                    DeadlineReq(deadline=loop.time() + 30.0)
+                )
+            finally:
+                await batcher.stop()
+
+        assert _run(main) == "ok"
+
+
+class TestCancellationEdges:
+    def test_future_cancelled_mid_flight_batch(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def execute(requests):
+            started.set()
+            release.wait(timeout=5)
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=2, max_wait_ms=50.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            victim = loop.create_task(batcher.submit(Req()))
+            survivor = loop.create_task(batcher.submit(Req()))
+            await asyncio.to_thread(started.wait, 5)  # batch is executing
+            victim.cancel()
+            release.set()
+            survivor_out = await survivor
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            await batcher.stop()
+            return survivor_out, batcher.inflight_records
+
+        survivor_out, inflight = _run(main)
+        # the cancelled submitter does not poison its co-batched peer, and
+        # its record weight is still released
+        assert survivor_out == "ok"
+        assert inflight == 0
+
+    def test_future_cancelled_while_queued_is_reaped(self):
+        executed = []
+        release = threading.Event()
+
+        def execute(requests):
+            release.wait(timeout=5)
+            executed.append(len(requests))
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            blocker = loop.create_task(batcher.submit(Req()))
+            await asyncio.sleep(0.05)
+            victim = loop.create_task(batcher.submit(Req()))
+            await asyncio.sleep(0.05)  # queued, not executing
+            victim.cancel()
+            release.set()
+            assert await blocker == "ok"
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            await batcher.stop()
+            return batcher.inflight_records
+
+        assert _run(main) == 0
+        # the reaped request never became a batch
+        assert executed == [1]
+
+    def test_stop_racing_concurrent_submit(self):
+        def execute(requests):
+            time.sleep(0.01)
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            tasks = [loop.create_task(batcher.submit(Req())) for _ in range(6)]
+            await asyncio.sleep(0)  # some enqueue, then stop races the rest
+            stop_task = loop.create_task(batcher.stop())
+            late = [loop.create_task(batcher.submit(Req())) for _ in range(3)]
+            outcomes = await asyncio.gather(*tasks, *late, return_exceptions=True)
+            await stop_task
+            return outcomes
+
+        outcomes = _run(main)
+        # every submission resolved: "ok" for the admitted, BatcherClosed
+        # for the raced — never a hang, never a silent drop
+        assert all(
+            out == "ok" or isinstance(out, BatcherClosed) for out in outcomes
+        )
+        assert "ok" in outcomes
+
+
+class TestForcedStop:
+    def test_stop_timeout_forces_stalled_writer(self):
+        stall = threading.Event()
+
+        def execute(requests):
+            stall.wait(timeout=30)  # simulates a wedged engine pass
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute, max_batch=1, max_wait_ms=0.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            wedged = loop.create_task(batcher.submit(Req()))
+            queued = loop.create_task(batcher.submit(Req()))
+            await asyncio.sleep(0.05)
+            clean = await batcher.stop(timeout=0.2)
+            outcomes = await asyncio.gather(wedged, queued, return_exceptions=True)
+            stall.set()  # let the abandoned thread finish
+            return clean, outcomes
+
+        clean, outcomes = _run(main)
+        assert clean is False
+        assert all(isinstance(out, BatcherClosed) for out in outcomes)
+
+    def test_stop_without_timeout_is_clean(self):
+        def execute(requests):
+            return ["ok"] * len(requests)
+
+        async def main():
+            batcher = MicroBatcher(execute)
+            await batcher.start()
+            await batcher.submit(Req())
+            return await batcher.stop(timeout=5.0)
+
+        assert _run(main) is True
+
+    def test_stop_twice_is_safe(self):
+        async def main():
+            batcher = MicroBatcher(lambda reqs: ["ok"] * len(reqs))
+            await batcher.start()
+            assert await batcher.stop() is True
+            assert await batcher.stop() is True
+
+        _run(main)
