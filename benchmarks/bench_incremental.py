@@ -11,16 +11,32 @@ both the printed table and a machine-readable ``BENCH_incremental.json``.
 The frozen model must *never* re-fit: the bench asserts the learned prior
 is bit-identical before and after all resolves, and that the 10-record
 batch resolves faster than the full re-run by a wide margin.
+
+The second bench (ISSUE 10) measures the sharded engine against the
+classic one on synthetic corpora of 10k / 100k / 1M records built from the
+corruption operators, emitting ``BENCH_shard.json``: resolve throughput
+sharded (8 shards, 4 workers) vs single-shard at every scale — bit-identical
+results asserted — plus an out-of-core leg where the saved store's mapped
+artifacts exceed the configured in-process load budget. Set
+``REPRO_BENCH_SMOKE=1`` for a seconds-long CI run (smallest scale, no JSON,
+no assertions); ``REPRO_BENCH_MAX_SCALE`` caps the trajectory (the CI shard
+job stops at 100k).
 """
 
+import os
 import time
 
+import numpy as np
 from _bench_utils import bench_workload, emit, one_shot, write_bench_report
 
 from repro.blocking import TokenOverlapBlocker
 from repro.data import load_benchmark
+from repro.data.corruption import Corruptor, drop_token, swap_tokens, typo
 from repro.data.table import Table
+from repro.data.vocabulary import CITIES, CUISINES, RESTAURANT_WORDS, STREET_NAMES
 from repro.eval.harness import format_table
+from repro.incremental import IncrementalResolver
+from repro.incremental.artifacts import artifact_dir
 from repro import ERPipeline
 
 #: Arriving-batch sizes (cumulative: 10 arrive, then 100 more, then 1000).
@@ -119,3 +135,237 @@ def test_incremental_vs_full_rerun(benchmark, capfd):
     for row in rows:
         assert row["seconds"] < row["baseline_seconds"], row
     assert rows[0]["speedup"] > 10.0
+
+
+# -- sharded scale trajectory (ISSUE 10) --------------------------------------
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Store sizes of the sharded-vs-unsharded trajectory, smallest first. The
+#: checked-in ``BENCH_shard.json`` comes from the full run; CI caps the list
+#: with ``REPRO_BENCH_MAX_SCALE=100000`` and smoke keeps only the smallest.
+SHARD_SCALES = (10_000, 100_000, 1_000_000)
+SHARDS, WORKERS = 8, 4
+SHARD_SEED = 23
+FIT_N = 1_500
+PROBE_N = 50 if SMOKE else 200
+
+#: Acceptance bar (ISSUE 10): sharded resolve throughput at the largest
+#: measured scale (100k+) with 4 workers vs the single-shard engine.
+SHARD_SPEEDUP_FLOOR = 3.0
+
+#: Venue-name word pool; 3-word names over ~60 words keep token document
+#: frequencies around 5% of the store — long posting lists, under the
+#: blocker's default 0.2 df cap at every scale.
+_NAME_POOL = RESTAURANT_WORDS + STREET_NAMES
+
+#: The dirty-duplicate channel: the error classes the corruption module
+#: models for venue strings (typos, dropped and reordered tokens).
+_NOISE = Corruptor([(0.5, typo), (0.2, drop_token), (0.2, swap_tokens)])
+
+
+def _shard_scales() -> tuple:
+    cap = int(os.environ.get("REPRO_BENCH_MAX_SCALE", SHARD_SCALES[-1]))
+    scales = tuple(s for s in SHARD_SCALES if s <= cap) or SHARD_SCALES[:1]
+    return scales[:1] if SMOKE else scales
+
+
+def _synthetic_corpus(n: int, seed: int, prefix: str = "r") -> list[dict]:
+    """``n`` seeded venue records: unique entities plus ~20% corrupted
+    near-duplicates of their predecessor (the paper's dirty-ER setting)."""
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, len(_NAME_POOL), size=(n, 3))
+    cities = rng.integers(0, len(CITIES), size=n)
+    cuisines = rng.integers(0, len(CUISINES), size=n)
+    duplicate = rng.random(n) < 0.2
+    records: list[dict] = []
+    for i in range(n):
+        if duplicate[i] and records:
+            base = records[-1]
+            records.append(
+                {**base, "id": f"{prefix}{i}", "name": _NOISE(rng, base["name"])}
+            )
+            continue
+        a, b, c = words[i]
+        records.append(
+            {
+                "id": f"{prefix}{i}",
+                "name": f"{_NAME_POOL[a]} {_NAME_POOL[b]} {_NAME_POOL[c]}",
+                "city": CITIES[cities[i]],
+                "cuisine": CUISINES[cuisines[i]],
+            }
+        )
+    return records
+
+
+def _probe_batch(corpus: list, rng, n: int, tag: str) -> list[dict]:
+    """Corrupted copies of ``n`` random corpus records, under fresh ids."""
+    picks = rng.choice(len(corpus), size=n, replace=False)
+    return [
+        {**corpus[int(p)], "id": f"{tag}-{k}", "name": _NOISE(rng, corpus[int(p)]["name"])}
+        for k, p in enumerate(picks)
+    ]
+
+
+def _grow(resolver, corpus: list) -> float:
+    """Ingest an already-resolved corpus (index + store, no scoring).
+
+    How the store got large is not what this bench measures; seeding the
+    structures directly keeps the setup proportional to the corpus instead
+    of to the quadratic pair space.
+    """
+    started = time.perf_counter()
+    resolver.index.add(corpus)
+    resolver.store.add_records(corpus)
+    return time.perf_counter() - started
+
+
+def _out_of_core_leg(sharded, classic, corpus, rng, tmp_path) -> dict:
+    """Resolve against a saved store whose mapped bytes exceed the budget."""
+    root = tmp_path / "shard-bench"
+    sharded.save(root)
+    shard_files = sorted(artifact_dir(root).glob("shards/*.shard"))
+    mapped_bytes = sum(p.stat().st_size for p in shard_files)
+    budget_bytes = max(1, mapped_bytes // 4)
+    # republish with the budget in the manifest: every shard is clean after
+    # the first save, so the second publish hardlinks them all and only
+    # rewrites the JSON envelope
+    sharded.store.loader.budget_bytes = budget_bytes
+    sharded.save(root)
+    # workers=1: the leg measures lazy shard I/O, not pool spawn cost
+    loaded = IncrementalResolver.load(root, workers=1)
+    assert loaded.store.loader.budget_bytes == budget_bytes
+    batch = _probe_batch(corpus, rng, 32, "ooc")
+    started = time.perf_counter()
+    out = loaded.resolve(batch)
+    seconds = time.perf_counter() - started
+    reference = classic.resolve(batch)
+    assert out.matches == reference.matches
+    assert np.array_equal(out.scores, reference.scores)
+    stats = loaded.store.loader.stats()
+    assert mapped_bytes > budget_bytes
+    # lazy loading: a 32-record batch touches a subset of the 2×SHARDS maps
+    assert 0 < stats["loaded_shards"] <= 2 * SHARDS
+    loaded.close()
+    return {
+        "mapped_bytes": mapped_bytes,
+        "budget_bytes": budget_bytes,
+        "shard_files": len(shard_files),
+        "probes": len(batch),
+        "resolve_sec": round(seconds, 4),
+        "matches": len(out.matches),
+        "loader": stats,
+    }
+
+
+def test_sharded_vs_unsharded_scale_trajectory(benchmark, capfd, tmp_path):
+    def run():
+        scales = _shard_scales()
+        corpus_full = _synthetic_corpus(max(scales), SHARD_SEED)
+        pipeline = ERPipeline(
+            blocker=TokenOverlapBlocker("name", min_overlap=2, top_k=10)
+        )
+        pipeline.run(
+            Table(
+                _synthetic_corpus(FIT_N, SHARD_SEED + 1, prefix="fit-"),
+                attributes=["name", "city", "cuisine"],
+            )
+        )
+        rng = np.random.default_rng(SHARD_SEED + 2)
+        rows, out_of_core = [], None
+        for scale in scales:
+            corpus = corpus_full[:scale]
+            classic = pipeline.freeze()
+            sharded = pipeline.freeze(shards=SHARDS, workers=WORKERS)
+            try:
+                classic_ingest = _grow(classic, corpus)
+                sharded_ingest = _grow(sharded, corpus)
+                warm = _probe_batch(corpus, rng, 16, f"warm{scale}")
+                timed = _probe_batch(corpus, rng, PROBE_N, f"probe{scale}")
+                classic.resolve(warm)  # warm caches / spawn the pool once
+                sharded.resolve(warm)
+
+                started = time.perf_counter()
+                reference = classic.resolve(timed)
+                classic_sec = time.perf_counter() - started
+                started = time.perf_counter()
+                out = sharded.resolve(timed)
+                sharded_sec = time.perf_counter() - started
+
+                # a fast wrong answer is no answer: bit-identical scoring
+                assert out.pairs == reference.pairs
+                assert out.matches == reference.matches
+                assert np.array_equal(out.scores, reference.scores)
+
+                rows.append(
+                    bench_workload(
+                        "synthetic",
+                        "sharded",
+                        sharded_sec,
+                        baseline_engine="unsharded",
+                        baseline_seconds=classic_sec,
+                        scale=scale,
+                        probes=PROBE_N,
+                        pairs_scored=len(out.pairs),
+                        matches=len(out.matches),
+                        shards=SHARDS,
+                        workers=WORKERS,
+                        records_per_sec=round(PROBE_N / max(sharded_sec, 1e-9)),
+                        ingest_sec=round(sharded_ingest, 4),
+                        baseline_ingest_sec=round(classic_ingest, 4),
+                    )
+                )
+                if scale == scales[-1] and not SMOKE:
+                    out_of_core = _out_of_core_leg(sharded, classic, corpus, rng, tmp_path)
+            finally:
+                sharded.close()
+        return rows, out_of_core
+
+    rows, out_of_core = one_shot(benchmark, run)
+
+    table_rows = [
+        {
+            "store": w["scale"],
+            "pairs": w["pairs_scored"],
+            "matches": w["matches"],
+            "unsharded_sec": w["baseline_seconds"],
+            "sharded_sec": w["seconds"],
+            "speedup": w["speedup"],
+            "rec/s": w["records_per_sec"],
+        }
+        for w in rows
+    ]
+    emit(capfd, "")
+    emit(capfd, format_table(
+        table_rows,
+        ["store", "pairs", "matches", "unsharded_sec", "sharded_sec", "speedup", "rec/s"],
+        title=f"Sharded ({SHARDS} shards, {WORKERS} workers) vs unsharded resolve, "
+              f"{PROBE_N}-record batches",
+    ))
+    if out_of_core is not None:
+        emit(
+            capfd,
+            f"out-of-core: {out_of_core['mapped_bytes']:,} mapped bytes under a "
+            f"{out_of_core['budget_bytes']:,}-byte budget; resolve "
+            f"{out_of_core['resolve_sec']}s, loader {out_of_core['loader']}",
+        )
+
+    if SMOKE:
+        emit(capfd, "smoke mode: skipping report write and speedup assertions")
+        return
+
+    report_path = write_bench_report("shard", rows, meta={
+        "seed": SHARD_SEED,
+        "fit_records": FIT_N,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "probes": PROBE_N,
+        "out_of_core": out_of_core,
+    })
+    emit(capfd, f"report written to {report_path}")
+
+    largest = rows[-1]
+    assert largest["speedup"] >= SHARD_SPEEDUP_FLOOR, (
+        f"sharded resolve speedup {largest['speedup']}x at store size "
+        f"{largest['scale']} is below the {SHARD_SPEEDUP_FLOOR}x acceptance bar"
+    )

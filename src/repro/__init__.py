@@ -40,6 +40,7 @@ from repro.api import (
     PipelineSpec,
     ResolutionSession,
     ServeSpec,
+    ShardSpec,
     SpecError,
     TelemetrySpec,
     configure_telemetry,
@@ -98,6 +99,7 @@ __all__ = [
     "OutputSpec",
     "TelemetrySpec",
     "ServeSpec",
+    "ShardSpec",
     "SpecError",
     "SPEC_VERSION",
     # observability

@@ -29,9 +29,19 @@ workflows:
             --checkpoint-every 5 --time-budget 300
         python -m repro fit --left big.csv --block-on name --artifacts art/ --resume
 
+    Stores larger than RAM can be sharded at freeze time: ``--shards N``
+    partitions the store and index across N hash shards with memory-mapped
+    per-shard artifacts, ``--workers`` adds parallel featurization, and
+    ``--load-budget-mb`` caps how much of the store a later ``resolve`` /
+    ``serve`` keeps mapped at once (see ``docs/architecture.md``)::
+
+        python -m repro fit --left big.csv --block-on name --artifacts art/ \
+            --shards 8 --workers 4 --load-budget-mb 512
+
 ``resolve``
     Stream a batch of new records against saved artifacts — no re-fit, the
-    store and artifacts are updated in place::
+    store and artifacts are updated in place (``--workers`` overrides the
+    frozen worker count; sharded artifacts print per-shard statistics)::
 
         python -m repro resolve --artifacts art/ --records new.csv -o assignments.csv
 
@@ -217,6 +227,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for EM; on expiry the best-so-far parameters are "
         "kept (converged=False) and a checkpoint is written for --resume",
     )
+    fit.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the entity store and token index across N hash shards "
+        "with memory-mapped per-shard artifacts (default: 1, the classic "
+        "in-memory engine; overrides the spec's shard section)",
+    )
+    fit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="featurization worker processes per resolve batch "
+        "(default: 1, in-process; overrides the spec's shard section)",
+    )
+    fit.add_argument(
+        "--load-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="soft cap on concurrently mapped shard bases after a reload; "
+        "least-recently-probed shards are evicted past it "
+        "(default: unbounded; overrides the spec's shard section)",
+    )
     fit.set_defaults(func=_cmd_fit)
 
     resolve = sub.add_parser(
@@ -230,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resolve.add_argument(
         "-o", "--output", help="optional CSV for record→entity assignments"
+    )
+    resolve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="featurization worker processes for this batch "
+        "(default: the worker count frozen into the artifacts)",
     )
     _add_trace_argument(resolve)
     resolve.set_defaults(func=_cmd_resolve)
@@ -512,8 +556,43 @@ def _fit_controls(args):
     return controls, store, 0
 
 
+def _shard_settings(args):
+    """``(shards, workers, load_budget_mb, exit_code)`` from flags + spec.
+
+    The spec's ``shard`` section (when present) provides the defaults;
+    explicit ``--shards`` / ``--workers`` / ``--load-budget-mb`` flags
+    override individual fields, with the same validation either way.
+    """
+    from repro.api import ShardSpec
+
+    base = ShardSpec()
+    if args.spec:
+        try:
+            spec_shard = load_spec(args.spec).shard
+        except (SpecError, OSError):
+            # _build_pipeline already reported this spec error
+            spec_shard = None
+        if spec_shard is not None:
+            base = spec_shard
+    overrides = {}
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.load_budget_mb is not None:
+        overrides["load_budget_mb"] = args.load_budget_mb
+    try:
+        merged = base.replace(**overrides) if overrides else base
+    except SpecError as exc:
+        return 1, 1, None, _fail(exc)
+    return merged.shards, merged.workers, merged.load_budget_mb, 0
+
+
 def _cmd_fit(args) -> int:
     pipeline, threshold, _one_to_one, code = _build_pipeline(args)
+    if code:
+        return code
+    shards, workers, load_budget_mb, code = _shard_settings(args)
     if code:
         return code
     controls, ckpt_store, code = _fit_controls(args)
@@ -543,7 +622,12 @@ def _cmd_fit(args) -> int:
     except CheckpointError as exc:
         return _fail(exc)
     try:
-        resolver = pipeline.freeze(threshold=threshold)
+        resolver = pipeline.freeze(
+            threshold=threshold,
+            shards=shards,
+            workers=workers,
+            load_budget_mb=load_budget_mb,
+        )
     except (ValueError, RuntimeError) as exc:
         # e.g. overlapping record ids across the two tables, or a blocking
         # recipe that produced no candidate pairs to fit on
@@ -563,26 +647,49 @@ def _cmd_fit(args) -> int:
                 f"fit interrupted before convergence; resume with: "
                 f"python -m repro fit ... --artifacts {args.artifacts} --resume"
             )
+    shard_note = f", {shards} shards" if shards > 1 else ""
     print(
         f"fitted on {len(resolver.store)} records "
         f"({resolver.store.n_entities} entities, "
-        f"{len(pipeline.result_.pairs)} candidate pairs scored); "
+        f"{len(pipeline.result_.pairs)} candidate pairs scored{shard_note}); "
         f"artifacts written to {path}"
     )
     return 0
+
+
+def _shard_summary(stats: dict) -> str:
+    """One-line shard/candidate statistics for the ``resolve`` report."""
+    per_shard = stats.get("pairs_per_shard") or {}
+    touched = stats.get("index_shards_touched") or []
+    dist = ", ".join(f"s{shard}:{count}" for shard, count in sorted(per_shard.items()))
+    line = (
+        f"shards: {len(touched)}/{stats['n_shards']} probed, "
+        f"workers: {stats['workers']}"
+    )
+    if dist:
+        line += f"; candidate pairs per shard: {dist}"
+    loader = stats.get("loader") or {}
+    if loader.get("budget_bytes"):
+        line += (
+            f"; mapped {loader['loaded_shards']} shard(s), "
+            f"{loader['loaded_bytes']} bytes "
+            f"({loader['evictions']} evicted)"
+        )
+    return line
 
 
 def _cmd_resolve(args) -> int:
     from repro.incremental import ArtifactError, IncrementalResolver
 
     try:
-        resolver = IncrementalResolver.load(args.artifacts)
+        resolver = IncrementalResolver.load(args.artifacts, workers=args.workers)
         records = read_csv(Path(args.records), id_attr=resolver.store.id_attr)
         with _maybe_trace(args):
             result = resolver.resolve(records)
     except (ArtifactError, OSError, ValueError) as exc:
-        # e.g. missing/corrupt artifacts, unreadable CSV, or a record id
-        # that is already in the store (a batch streamed twice)
+        # e.g. missing/corrupt artifacts, unreadable CSV, a record id that
+        # is already in the store (a batch streamed twice), or a --workers
+        # value out of range
         return _fail(exc)
 
     # Write the assignments before persisting the store: if the output path
@@ -603,6 +710,9 @@ def _cmd_resolve(args) -> int:
         f"store now holds {len(resolver.store)} records in "
         f"{resolver.store.n_entities} entities"
     )
+    if result.shard_stats:
+        print(_shard_summary(result.shard_stats))
+    resolver.close()
     return 0
 
 

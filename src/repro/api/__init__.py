@@ -25,6 +25,7 @@ from repro.api.spec import (
     OutputSpec,
     PipelineSpec,
     ServeSpec,
+    ShardSpec,
     SpecError,
     TelemetrySpec,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "OutputSpec",
     "TelemetrySpec",
     "ServeSpec",
+    "ShardSpec",
     "SpecError",
     "SPEC_VERSION",
     "resolve",

@@ -230,7 +230,13 @@ class ERPipeline:
         """Resolve entities between two tables (or within one, dedup mode)."""
         return self.session(left, right).run()
 
-    def freeze(self, threshold: float = 0.5):
+    def freeze(
+        self,
+        threshold: float = 0.5,
+        shards: int = 1,
+        workers: int = 1,
+        load_budget_mb: float | None = None,
+    ):
         """Turn the completed batch run into an :class:`IncrementalResolver`.
 
         The fitted model and feature generator are frozen as-is; the entity
@@ -241,11 +247,25 @@ class ERPipeline:
         mode the two tables share one store, so their record ids must be
         disjoint. The pipeline's declarative spec (when capturable) is
         embedded in the resolver for provenance.
+
+        ``shards=1`` (the default) freezes onto the classic in-memory
+        store/index — the reference engine. ``shards >= 2`` freezes onto
+        the partitioned structures of :mod:`repro.shard` (same results,
+        bit for bit; out-of-core artifacts and vectorized probing), with
+        ``workers`` parallel featurization processes and an optional
+        in-process shard ``load_budget_mb`` enforced after a reload.
         """
         from repro.incremental.index import IncrementalTokenIndex
         from repro.incremental.resolver import IncrementalResolver
         from repro.incremental.store import EntityStore
+        from repro.shard import (
+            ShardedEntityStore,
+            ShardedTokenIndex,
+            ShardLoadManager,
+            validate_shard_count,
+        )
 
+        shards = validate_shard_count(shards)
         if self.result_ is None:
             raise RuntimeError("run() must complete before freeze()")
         if self.model_ is None or self.generator_ is None:
@@ -264,8 +284,18 @@ class ERPipeline:
                 )
         blocker = self.fitted_blocker_ if self.fitted_blocker_ is not None else self.blocker
         engine = self.fitted_engine_ if self.fitted_engine_ is not None else self.feature_engine
-        index = IncrementalTokenIndex.from_blocker(blocker, id_attr=left.id_attr)
-        store = EntityStore(id_attr=left.id_attr)
+        if shards > 1:
+            budget = int(load_budget_mb * 1024 * 1024) if load_budget_mb else None
+            loader = ShardLoadManager(budget_bytes=budget)
+            index = ShardedTokenIndex.from_blocker(
+                blocker, id_attr=left.id_attr, n_shards=shards, loader=loader
+            )
+            store = ShardedEntityStore(
+                id_attr=left.id_attr, n_shards=shards, loader=loader
+            )
+        else:
+            index = IncrementalTokenIndex.from_blocker(blocker, id_attr=left.id_attr)
+            store = EntityStore(id_attr=left.id_attr)
         for table in (left, right) if right is not None else (left,):
             for rec in table:
                 store.add(rec)
@@ -280,10 +310,17 @@ class ERPipeline:
             store,
             threshold=threshold,
             engine=engine,
-            spec=self._capture_spec(threshold),
+            spec=self._capture_spec(threshold, shards, workers, load_budget_mb),
+            workers=workers,
         )
 
-    def _capture_spec(self, threshold: float):
+    def _capture_spec(
+        self,
+        threshold: float,
+        shards: int = 1,
+        workers: int = 1,
+        load_budget_mb: float | None = None,
+    ):
         """Best-effort declarative capture of the *fitted* run, for provenance.
 
         Describes what actually produced ``model_``/``result_`` — the
@@ -299,6 +336,7 @@ class ERPipeline:
             ModelSpec,
             OutputSpec,
             PipelineSpec,
+            ShardSpec,
             SpecError,
         )
 
@@ -306,6 +344,7 @@ class ERPipeline:
         config = self.fitted_config_ if self.fitted_config_ is not None else self.config
         engine = self.fitted_engine_ if self.fitted_engine_ is not None else self.feature_engine
         overrides = self.type_overrides or {}
+        sharded = shards > 1 or workers > 1 or load_budget_mb is not None
         try:
             return PipelineSpec(
                 blocking=BlockingSpec.from_blocker(blocker),
@@ -323,6 +362,13 @@ class ERPipeline:
                     ),
                 ),
                 output=OutputSpec(threshold=threshold),
+                shard=(
+                    ShardSpec(
+                        shards=shards, workers=workers, load_budget_mb=load_budget_mb
+                    )
+                    if sharded
+                    else None
+                ),
             )
         except (SpecError, TypeError):
             return None

@@ -42,6 +42,7 @@ __all__ = [
     "OutputSpec",
     "TelemetrySpec",
     "ServeSpec",
+    "ShardSpec",
     "PipelineSpec",
 ]
 
@@ -416,6 +417,73 @@ class ServeSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """Declarative sharding for ``python -m repro fit`` / ``freeze()``.
+
+    Embedded (optionally) as the ``shard`` section of a
+    :class:`PipelineSpec`. ``shards=1`` keeps the classic in-memory
+    engine; ``shards >= 2`` partitions the entity store and token index
+    across that many hash shards (see :mod:`repro.shard`) with
+    ``workers`` featurization processes per resolve and an optional
+    in-process ``load_budget_mb`` for memory-mapped shard bases.
+    CLI flags override any field at fit time.
+    """
+
+    #: Number of hash shards for the store and index (1..64; 1 = classic).
+    shards: int = 1
+    #: Featurization worker processes per resolve batch (1 = in-process).
+    workers: int = 1
+    #: Soft cap in MiB on concurrently mapped shard bases after a reload;
+    #: ``None`` disables eviction.
+    load_budget_mb: float | None = None
+
+    def __post_init__(self):
+        from repro.shard import MAX_SHARDS
+        from repro.shard.pool import MAX_WORKERS
+
+        for name, value, cap in (
+            ("shards", self.shards, MAX_SHARDS),
+            ("workers", self.workers, MAX_WORKERS),
+        ):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SpecError(f"{name} must be an int, got {value!r}")
+            if not 1 <= value <= cap:
+                raise SpecError(f"{name} must be in [1, {cap}], got {value}")
+        if self.load_budget_mb is not None:
+            if (
+                not isinstance(self.load_budget_mb, (int, float))
+                or isinstance(self.load_budget_mb, bool)
+                or self.load_budget_mb <= 0
+            ):
+                raise SpecError(
+                    f"load_budget_mb must be a number > 0 or null, "
+                    f"got {self.load_budget_mb!r}"
+                )
+
+    def replace(self, **changes) -> "ShardSpec":
+        """A copy with the given fields replaced (CLI-flag overrides)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """The JSON-serializable form of this shard section."""
+        return {
+            "shards": self.shards,
+            "workers": self.workers,
+            "load_budget_mb": self.load_budget_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        """Validate a ``shard`` payload into a :class:`ShardSpec`."""
+        _require_keys(data, ("shards", "workers", "load_budget_mb"), "shard")
+        return cls(
+            shards=data.get("shards", 1),
+            workers=data.get("workers", 1),
+            load_budget_mb=data.get("load_budget_mb"),
+        )
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """The full declarative pipeline: blocking + features + model + output."""
 
@@ -427,6 +495,9 @@ class PipelineSpec:
     #: Optional serving posture (``None`` — the common case for specs that
     #: never get served — serializes as an absent ``serve`` section).
     serve: ServeSpec | None = None
+    #: Optional sharding posture for freeze/fit (``None`` — classic
+    #: unsharded engine — serializes as an absent ``shard`` section).
+    shard: ShardSpec | None = None
     version: int = SPEC_VERSION
 
     def __post_init__(self):
@@ -450,6 +521,10 @@ class PipelineSpec:
         if self.serve is not None and not isinstance(self.serve, ServeSpec):
             raise SpecError(
                 f"serve must be a ServeSpec or None, got {type(self.serve).__name__}"
+            )
+        if self.shard is not None and not isinstance(self.shard, ShardSpec):
+            raise SpecError(
+                f"shard must be a ShardSpec or None, got {type(self.shard).__name__}"
             )
 
     # -- construction ------------------------------------------------------------
@@ -527,6 +602,8 @@ class PipelineSpec:
         }
         if self.serve is not None:
             out["serve"] = self.serve.to_dict()
+        if self.shard is not None:
+            out["shard"] = self.shard.to_dict()
         return out
 
     @classmethod
@@ -534,7 +611,16 @@ class PipelineSpec:
         """Validate a full spec document; every section validates eagerly."""
         _require_keys(
             data,
-            ("version", "blocking", "features", "model", "output", "telemetry", "serve"),
+            (
+                "version",
+                "blocking",
+                "features",
+                "model",
+                "output",
+                "telemetry",
+                "serve",
+                "shard",
+            ),
             "pipeline",
         )
         if "blocking" not in data:
@@ -543,6 +629,7 @@ class PipelineSpec:
         if not isinstance(version, int):
             raise SpecError(f"version must be an int, got {version!r}")
         serve_payload = data.get("serve")
+        shard_payload = data.get("shard")
         return cls(
             blocking=BlockingSpec.from_dict(data["blocking"]),
             features=FeatureSpec.from_dict(data.get("features") or {}),
@@ -550,6 +637,7 @@ class PipelineSpec:
             output=OutputSpec.from_dict(data.get("output") or {}),
             telemetry=TelemetrySpec.from_dict(data.get("telemetry") or {}),
             serve=None if serve_payload is None else ServeSpec.from_dict(serve_payload),
+            shard=None if shard_payload is None else ShardSpec.from_dict(shard_payload),
             version=version,
         )
 

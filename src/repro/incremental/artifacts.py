@@ -214,7 +214,9 @@ def _record_retry(exc, attempt):
     )
 
 
-def _publish_version(root: Path, version: int, manifest: dict, arrays: dict) -> Path:
+def _publish_version(
+    root: Path, version: int, manifest: dict, arrays: dict, extra_files=None
+) -> Path:
     """Stage + publish one immutable version directory (idempotent on retry)."""
     version_dir = root / f"v{version:06d}"
     if version_dir.exists():
@@ -229,6 +231,11 @@ def _publish_version(root: Path, version: int, manifest: dict, arrays: dict) -> 
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
         )
         staged_write_bytes(staging / _ARRAYS, buffer.getvalue())
+        if extra_files is not None:
+            extra_files(staging)
+        # top-level files only: payload files written by extra_files (shard
+        # containers under shards/) carry per-file hashes in the manifest
+        # and are verified lazily on first open
         write_checksum_manifest(staging)
     return version_dir
 
@@ -240,6 +247,7 @@ def save_artifacts(
     extra: dict | None = None,
     spec: dict | None = None,
     report: dict | None = None,
+    extra_files=None,
 ) -> Path:
     """Write a fitted generator + matcher to an artifact root, crash-safely.
 
@@ -270,6 +278,11 @@ def save_artifacts(
         Optional run report (``ERResult.report()`` /
         ``ResolveResult.report()`` document) stored under ``"run_report"``
         — the telemetry of the run that produced the artifact.
+    extra_files:
+        Optional callable invoked with the staging directory before the
+        checksum manifest is written — the hook the sharded layout uses to
+        materialize its ``shards/`` containers inside the same atomic
+        publish.
     """
     from repro import __version__
 
@@ -292,7 +305,7 @@ def save_artifacts(
     existing = _version_dirs(root)
     version = existing[-1][0] + 1 if existing else 1
     version_dir = retry_io(
-        lambda: _publish_version(root, version, manifest, arrays),
+        lambda: _publish_version(root, version, manifest, arrays, extra_files),
         on_retry=_record_retry,
     )
     # The commit point: readers follow CURRENT, and this replace is atomic.

@@ -28,10 +28,23 @@ from repro.features.generator import (
     clear_feature_caches,
     validate_feature_engine,
 )
-from repro.incremental.artifacts import ArtifactError, load_artifacts, save_artifacts
+from repro.incremental.artifacts import (
+    ArtifactError,
+    artifact_dir,
+    load_artifacts,
+    save_artifacts,
+)
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import EntityStore
-from repro.obs import RunTelemetry, add_counter, collect_run, span
+from repro.obs import (
+    RunTelemetry,
+    add_counter,
+    collect_run,
+    process_rss_bytes,
+    set_gauge,
+    span,
+    telemetry_active,
+)
 from repro.reliability.health import (
     EMPTY_CANDIDATE_SET,
     HealthReport,
@@ -64,6 +77,10 @@ class ResolveResult:
     #: Degradations recorded while resolving (a
     #: :class:`~repro.reliability.health.HealthReport`).
     health: object | None = field(default=None, repr=False, compare=False)
+    #: Shard/candidate statistics when resolving against a sharded store
+    #: (shards touched, pairs per shard, load-budget counters); ``None``
+    #: for the unsharded engine.
+    shard_stats: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def matches(self) -> list[tuple]:
@@ -126,6 +143,12 @@ class IncrementalResolver:
         Optional :class:`~repro.api.spec.PipelineSpec` describing the
         pipeline that produced the frozen model — provenance carried into
         saved artifacts (``ERPipeline.freeze`` fills it automatically).
+    workers:
+        Featurization worker processes (default 1 — the in-process
+        reference path). With more, candidate pairs are featurized in
+        parallel chunks by a spawn-safe
+        :class:`~repro.shard.pool.FeaturePool`; scoring and merging stay
+        in this process, so results are bit-identical for any count.
     """
 
     def __init__(
@@ -137,6 +160,7 @@ class IncrementalResolver:
         threshold: float = 0.5,
         engine: str = "batch",
         spec=None,
+        workers: int = 1,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
@@ -145,6 +169,8 @@ class IncrementalResolver:
             raise ValueError(
                 f"index covers {len(index)} records but the store holds {len(store)}"
             )
+        from repro.shard.pool import validate_workers
+
         self.generator = generator
         self.model = model
         self.index = index
@@ -152,6 +178,28 @@ class IncrementalResolver:
         self.threshold = float(threshold)
         self.engine = engine
         self.spec = spec
+        self.workers = validate_workers(workers)
+        self._pool = None
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this resolver runs on sharded store/index structures."""
+        from repro.shard.store import ShardedEntityStore
+
+        return isinstance(self.store, ShardedEntityStore)
+
+    def _feature_pool(self):
+        if self._pool is None:
+            from repro.shard.pool import FeaturePool
+
+            self._pool = FeaturePool(self.generator.get_state(), self.engine, self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down worker processes, if any were started (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     # -- resolution --------------------------------------------------------------
 
@@ -204,11 +252,17 @@ class IncrementalResolver:
                     batch_size=len(records),
                 )
 
+            shard_stats = self._shard_stats(pairs) if self.sharded else None
+
             # Empty batches and batches with no candidates still go through
             # the spans, so reports carry real measured timings — never
             # fabricated zeros.
-            with span("features", n_pairs=len(pairs), engine=self.engine) as sp:
-                if pairs:
+            with span(
+                "features", n_pairs=len(pairs), engine=self.engine, workers=self.workers
+            ) as sp:
+                if pairs and self.workers > 1:
+                    X = self._feature_pool().transform(self.store, pairs)
+                elif pairs:
                     X = self.generator.transform(
                         self.store, None, pairs, engine=self.engine
                     )
@@ -233,6 +287,8 @@ class IncrementalResolver:
             add_counter("resolve.records", len(records))
             add_counter("resolve.candidate_pairs", len(pairs))
             add_counter("resolve.matches", n_matches)
+            if telemetry_active():
+                self._publish_gauges(shard_stats)
 
             result = ResolveResult(
                 record_ids=new_ids,
@@ -254,11 +310,42 @@ class IncrementalResolver:
                     },
                 ),
                 health=health,
+                shard_stats=shard_stats,
             )
         result.telemetry.health = health.to_dict() if len(health) else None
         if col is not None:
             result.telemetry.metrics = col.registry.snapshot()
         return result
+
+    def _shard_stats(self, pairs: list[tuple]) -> dict:
+        """Shard/candidate statistics for one batch (sharded engine only)."""
+        pairs_per_shard: dict[int, int] = {}
+        for existing_id, _new_id in pairs:
+            shard = self.store.shard_of(existing_id)
+            pairs_per_shard[shard] = pairs_per_shard.get(shard, 0) + 1
+        touched = sorted(self.index.drain_touched())
+        return {
+            "n_shards": self.store.n_shards,
+            "workers": self.workers,
+            "index_shards_touched": touched,
+            "pairs_per_shard": {str(k): v for k, v in sorted(pairs_per_shard.items())},
+            "loader": self.store.loader.stats(),
+        }
+
+    def _publish_gauges(self, shard_stats: dict | None) -> None:
+        """Process- and shard-level gauges for run reports (traced runs only)."""
+        rss = process_rss_bytes()
+        if rss is not None:
+            set_gauge("process.rss_bytes", rss)
+        if shard_stats is None:
+            return
+        set_gauge("shard.count", shard_stats["n_shards"])
+        set_gauge("shard.workers", shard_stats["workers"])
+        loader = shard_stats["loader"]
+        set_gauge("shard.loaded_bytes", loader["loaded_bytes"])
+        set_gauge("shard.loaded_shards", loader["loaded_shards"])
+        for info in self.store.shard_sizes():
+            set_gauge(f"shard.store.records.{info['shard']:04d}", info["records"])
 
     def clear_caches(self) -> None:
         """Release shared featurization caches (Monge–Elkan token cache).
@@ -276,49 +363,85 @@ class IncrementalResolver:
     def save(self, path: str | Path, report: dict | None = None) -> Path:
         """Persist the full resolver (model artifacts + store + index config).
 
-        The index postings are not written: they are a pure function of the
-        store's records and the index parameters, and :meth:`load` rebuilds
-        them by re-indexing the store in insertion order. A run report
-        (:meth:`ResolveResult.report`) can be embedded alongside the
-        pipeline spec for provenance.
+        Unsharded resolvers embed the store state in the JSON manifest and
+        :meth:`load` rebuilds the postings by re-indexing it — they are a
+        pure function of the records and index parameters. Sharded
+        resolvers instead publish columnar shard containers under
+        ``shards/`` in the same atomic version publish; clean shards are
+        hardlinked from the previous version rather than rewritten. A run
+        report (:meth:`ResolveResult.report`) can be embedded alongside
+        the pipeline spec for provenance.
         """
-        extra = {
-            "resolver": {
-                "threshold": self.threshold,
-                "engine": self.engine,
-                "index": self.index.params(),
-                "store": self.store.to_state(),
-            }
+        extra_payload: dict = {
+            "threshold": self.threshold,
+            "engine": self.engine,
+            "workers": self.workers,
+            "index": self.index.params(),
         }
-        return save_artifacts(
+        extra_files = None
+        payload = None
+        if self.sharded:
+            from repro.shard.artifacts import (
+                payload_meta,
+                sharded_payload,
+                write_payload_files,
+            )
+
+            budget = self.store.loader.budget_bytes
+            payload = sharded_payload(
+                self.store,
+                self.index,
+                workers=self.workers,
+                load_budget_mb=budget / (1024 * 1024) if budget else None,
+            )
+            extra_payload["sharded"] = payload_meta(payload)
+            extra_files = lambda staging: write_payload_files(staging, payload)  # noqa: E731
+        else:
+            extra_payload["store"] = self.store.to_state()
+        root = save_artifacts(
             path,
             self.generator,
             self.model,
-            extra=extra,
+            extra={"resolver": extra_payload},
             spec=self.spec.to_dict() if self.spec is not None else None,
             report=report,
+            extra_files=extra_files,
         )
+        if payload is not None:
+            from repro.shard.artifacts import rebase_after_save
+
+            rebase_after_save(self.store, self.index, artifact_dir(root), payload)
+        return root
 
     @classmethod
-    def load(cls, path: str | Path) -> "IncrementalResolver":
+    def load(cls, path: str | Path, workers: int | None = None) -> "IncrementalResolver":
         """Restore a resolver saved with :meth:`save`, ready to keep resolving.
 
-        Raises :class:`~repro.incremental.artifacts.ArtifactError` — never a
-        raw ``KeyError``/numpy traceback — when the artifact is valid but
+        Sharded artifacts load lazily: only the ledger is read here, and
+        payload/posting shards stay on disk until a batch's tokens touch
+        them. ``workers`` overrides the saved worker count for this
+        process (serving and CLI knob). Raises
+        :class:`~repro.incremental.artifacts.ArtifactError` — never a raw
+        ``KeyError``/numpy traceback — when the artifact is valid but
         carries no resolver state, or its stored state cannot be rebuilt.
         """
         generator, model, manifest = load_artifacts(path)
         try:
             payload = manifest["extra"]["resolver"]
-            store = EntityStore.from_state(payload["store"])
-            index = IncrementalTokenIndex.from_params(payload["index"])
+            if payload.get("sharded") is not None:
+                from repro.shard.artifacts import load_sharded_state
+
+                store, index = load_sharded_state(artifact_dir(path), payload)
+            else:
+                store = EntityStore.from_state(payload["store"])
+                index = IncrementalTokenIndex.from_params(payload["index"])
+                index.add(store.records())
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(
                 f"artifact at {path} carries no loadable resolver state: {exc}",
                 path=Path(path),
                 reason="schema",
             ) from exc
-        index.add(store.records())
         spec_payload = manifest.get("pipeline_spec")
         spec = None
         if spec_payload is not None:
@@ -348,4 +471,5 @@ class IncrementalResolver:
             # artifacts written before the engine knob existed default to batch
             engine=payload.get("engine", "batch"),
             spec=spec,
+            workers=workers if workers is not None else payload.get("workers", 1),
         )

@@ -46,6 +46,7 @@ from repro.obs.runtime import (
     telemetry_active,
 )
 from repro.obs.sinks import SINK_NAMES, InMemorySink, JsonlSink, Sink, StderrSink, build_sink
+from repro.obs.system import process_rss_bytes
 from repro.obs.trace import Span, collect_run, current_span, span
 
 __all__ = [
@@ -70,6 +71,8 @@ __all__ = [
     "Histogram",
     "histogram_of",
     "DEFAULT_EDGES",
+    # system readings
+    "process_rss_bytes",
     # sinks
     "Sink",
     "InMemorySink",

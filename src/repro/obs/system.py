@@ -1,0 +1,37 @@
+"""Process-level resource readings for gauges and run reports.
+
+One dependency-free primitive: :func:`process_rss_bytes`, the resident set
+size of the current process. The sharded engine publishes it alongside its
+per-shard store-size gauges so a run report (or ``/metrics`` scrape) shows
+whether lazy shard loading is actually holding the working set down.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["process_rss_bytes"]
+
+
+def process_rss_bytes() -> int | None:
+    """Resident set size of this process in bytes, or ``None`` if unknown.
+
+    Reads ``/proc/self/status`` where available (Linux), falling back to
+    ``resource.getrusage`` elsewhere. Never raises — telemetry must not
+    take down the engine it observes.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        return rss if sys.platform == "darwin" else rss * 1024
+    except Exception:
+        return None

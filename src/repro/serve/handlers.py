@@ -389,7 +389,28 @@ class Router:
         return (200 if status == "ok" else 503), body
 
     async def _handle_metrics(self, request) -> tuple[int, dict]:
+        self._refresh_resource_gauges()
         return 200, {"metrics": self.metrics.snapshot()}
+
+    def _refresh_resource_gauges(self) -> None:
+        """Point-in-time process/shard residency gauges, set at scrape time."""
+        from repro.obs import process_rss_bytes
+
+        rss = process_rss_bytes()
+        if rss is not None:
+            self.metrics.gauge_set("process.rss_bytes", rss)
+        store = self.state.resolver.store
+        loader = getattr(store, "loader", None)
+        if loader is not None:
+            stats = loader.stats()
+            self.metrics.gauge_set("shard.loaded_bytes", stats["loaded_bytes"])
+            self.metrics.gauge_set("shard.loaded_shards", stats["loaded_shards"])
+            self.metrics.gauge_set("shard.evictions", stats["evictions"])
+        if hasattr(store, "shard_sizes"):
+            for info in store.shard_sizes():
+                self.metrics.gauge_set(
+                    f"shard.store.records.{info['shard']:04d}", info["records"]
+                )
 
     async def _handle_reload(self, request) -> tuple[int, dict]:
         try:

@@ -1,0 +1,60 @@
+"""Sharded, out-of-core resolution: partitioned store, index, and workers.
+
+The incremental engine of :mod:`repro.incremental` keeps every posting
+list, record payload, and union-find pointer in one process's memory. This
+package is its scale-out counterpart, built from four orthogonal pieces:
+
+* **partitioning** (:mod:`repro.shard.partition`) — stable, process- and
+  machine-independent hashing of tokens and record ids onto shards, so a
+  shard layout written by one process routes identically in every other;
+* **storage** (:mod:`repro.shard.storage`) — a single mmap-able columnar
+  container file per shard, read lazily page-by-page, published through
+  the crash-safe staged-directory discipline of :mod:`repro.reliability`;
+* **sharded structures** (:mod:`repro.shard.store`,
+  :mod:`repro.shard.index`) — drop-in counterparts of
+  :class:`~repro.incremental.store.EntityStore` and
+  :class:`~repro.incremental.index.IncrementalTokenIndex` that partition
+  payloads by record-id hash and postings by token hash while keeping the
+  union-find ledger global, so entity ids stay byte-for-byte identical to
+  the unsharded engine;
+* **workers** (:mod:`repro.shard.pool`) — a spawn-safe multiprocessing
+  pool that featurizes candidate-pair chunks in parallel; scores are
+  reassembled in pair order and the match merge stays serial, so results
+  are bit-identical for any worker count.
+
+The unsharded engine remains the reference: one shard and one worker is
+exactly today's code path, and the parity suite holds every shard/worker
+combination to bit-identical match sets and entity ids against it.
+"""
+
+from repro.shard.artifacts import load_sharded_state, sharded_payload
+from repro.shard.index import ShardedTokenIndex
+from repro.shard.loader import ShardLoadManager
+from repro.shard.partition import (
+    MAX_SHARDS,
+    shard_of_record,
+    shard_of_token,
+    stable_hash,
+    validate_shard_count,
+)
+from repro.shard.pool import FeaturePool
+from repro.shard.storage import ShardFile, pack_column, unpack_column, write_shard_file
+from repro.shard.store import ShardedEntityStore
+
+__all__ = [
+    "MAX_SHARDS",
+    "stable_hash",
+    "shard_of_token",
+    "shard_of_record",
+    "validate_shard_count",
+    "ShardFile",
+    "write_shard_file",
+    "pack_column",
+    "unpack_column",
+    "ShardLoadManager",
+    "ShardedEntityStore",
+    "ShardedTokenIndex",
+    "FeaturePool",
+    "sharded_payload",
+    "load_sharded_state",
+]

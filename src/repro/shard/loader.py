@@ -1,0 +1,134 @@
+"""In-process load budget for lazily opened shards.
+
+:class:`ShardLoadManager` is the policy point between "a store larger than
+RAM on disk" and "a bounded working set in this process": every shard that
+materializes (a payload shard's mmap + decoded header, an index shard's
+token table) registers its cost here, and when a configured budget is
+exceeded the least-recently-probed *clean* shard is released — its mmap
+closed, its decoded caches dropped — to be reopened on the next touch.
+
+Shards carrying unsaved state (overlay records, un-flushed postings) are
+never evicted; only reconstructible base state is. A single shard larger
+than the whole budget still loads — the budget bounds the steady-state
+working set, it is not an admission gate that could wedge a resolve.
+
+Loads, evictions, and resident bytes flow through :mod:`repro.obs`
+counters/gauges so run reports and ``/metrics`` can show how much of the
+store a workload actually touches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+
+from repro.obs import add_counter, set_gauge
+
+__all__ = ["ShardLoadManager"]
+
+
+class ShardLoadManager:
+    """LRU budget over lazily loaded shard resources.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Soft ceiling on the summed cost of loaded shards; ``None`` means
+        unbounded (everything stays resident once touched).
+    """
+
+    def __init__(self, budget_bytes: int | None = None):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        #: key -> (cost_bytes, release_fn, evictable_fn)
+        self._loaded: OrderedDict = OrderedDict()
+        self.n_loads = 0
+        self.n_evictions = 0
+        self.n_hits = 0
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def loaded_bytes(self) -> int:
+        """Summed cost of everything currently registered."""
+        return sum(cost for cost, _, _ in self._loaded.values())
+
+    @property
+    def loaded_keys(self) -> list:
+        """Keys currently resident, least recently used first."""
+        return list(self._loaded)
+
+    def touch(self, key) -> bool:
+        """Mark ``key`` as recently used; returns whether it is loaded."""
+        if key in self._loaded:
+            self._loaded.move_to_end(key)
+            self.n_hits += 1
+            return True
+        return False
+
+    def register(
+        self,
+        key,
+        cost_bytes: int,
+        release: Callable[[], None],
+        evictable: Callable[[], bool] = lambda: True,
+    ) -> None:
+        """Account for a freshly loaded shard and evict LRU victims over budget.
+
+        ``release`` is called when this entry is chosen for eviction;
+        ``evictable`` lets the owner veto eviction while the shard holds
+        state that only exists in memory (dirty overlays).
+        """
+        self._loaded[key] = (int(cost_bytes), release, evictable)
+        self._loaded.move_to_end(key)
+        self.n_loads += 1
+        add_counter("shard.loads")
+        self._enforce(exempt=key)
+        set_gauge("shard.loaded_bytes", self.loaded_bytes)
+
+    def unregister(self, key) -> None:
+        """Forget ``key`` without calling its release hook."""
+        self._loaded.pop(key, None)
+
+    def _enforce(self, exempt=None) -> None:
+        if self.budget_bytes is None:
+            return
+        while self.loaded_bytes > self.budget_bytes:
+            victim = next(
+                (
+                    key
+                    for key, (_, _, evictable) in self._loaded.items()
+                    if key != exempt and evictable()
+                ),
+                None,
+            )
+            if victim is None:
+                return  # nothing else can go; over-budget by necessity
+            _, release, _ = self._loaded.pop(victim)
+            release()
+            self.n_evictions += 1
+            add_counter("shard.evictions")
+
+    def release_all(self) -> None:
+        """Release every registered shard (process shutdown / reload)."""
+        while self._loaded:
+            _, (_, release, _) = self._loaded.popitem(last=False)
+            release()
+
+    def stats(self) -> dict:
+        """Counters for run reports and resolve statistics."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "loaded_bytes": self.loaded_bytes,
+            "loaded_shards": len(self._loaded),
+            "loads": self.n_loads,
+            "evictions": self.n_evictions,
+            "hits": self.n_hits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardLoadManager(loaded={len(self._loaded)}, "
+            f"bytes={self.loaded_bytes}, budget={self.budget_bytes})"
+        )

@@ -1,0 +1,281 @@
+"""Single-file mmap-able columnar containers for shard payloads.
+
+One shard — a slice of the entity store's record payloads, or one token
+shard's posting lists — is one file::
+
+    RSHRD001 | header_len (uint64 LE) | header JSON | segment bytes ...
+
+The header names every segment (a flat numpy array) with its byte offset,
+dtype, and shape; segments are 64-byte aligned. A reader memory-maps the
+file once and materializes segments with ``np.frombuffer`` over the map —
+zero copies, so an untouched shard costs address space, not resident
+memory, and the kernel pages in only what a probe actually walks.
+
+Record attribute values (``str | int | float | None``) are packed as a
+*column group* of three segments: a per-value kind byte, int64 offsets,
+and a concatenated UTF-8 blob. Non-string scalars ride through ``json``
+(whose float serialization round-trips exactly), and ``absent`` marks an
+attribute a record simply doesn't have, so decoded dicts equal the
+originals key-for-key.
+
+Writers emit complete file images as bytes and push them through
+:func:`repro.reliability.atomic.staged_write_bytes` inside a staged
+version directory, so shard files inherit the artifact layer's crash
+safety and fault-injection coverage. Integrity is per file: the writer
+returns the sha256 of the image, the manifest records it, and
+:meth:`ShardFile.open` verifies lazily — only the shards a batch touches
+pay the hashing cost.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+from pathlib import Path
+
+import numpy as np
+
+from repro.reliability.atomic import IntegrityError, sha256_file, staged_write_bytes
+
+__all__ = [
+    "MAGIC",
+    "ShardFile",
+    "shard_file_bytes",
+    "write_shard_file",
+    "pack_column",
+    "unpack_column",
+    "decode_value",
+]
+
+#: Leading file magic; the trailing digits version the container layout.
+MAGIC = b"RSHRD001"
+
+_ALIGN = 64
+
+#: Value-kind bytes in packed columns.
+_KIND_NONE = 0
+_KIND_STR = 1
+_KIND_JSON = 2
+_KIND_ABSENT = 3
+
+
+# -- value column codec ------------------------------------------------------------
+
+
+def pack_column(values: list, *, allow_absent: bool = False) -> dict[str, np.ndarray]:
+    """Pack scalar ``values`` into ``{"kind", "offsets", "blob"}`` arrays.
+
+    ``allow_absent`` permits the :data:`_KIND_ABSENT` sentinel (passed as
+    the ``ABSENT`` singleton by the store writer) for records that lack the
+    attribute entirely — distinct from an explicit ``None`` value.
+    """
+    kinds = np.empty(len(values), dtype=np.uint8)
+    offsets = np.empty(len(values) + 1, dtype=np.int64)
+    offsets[0] = 0
+    chunks = []
+    size = 0
+    for i, value in enumerate(values):
+        if value is None:
+            kinds[i] = _KIND_NONE
+            encoded = b""
+        elif value is ABSENT:
+            if not allow_absent:
+                raise ValueError("ABSENT is only valid in record columns")
+            kinds[i] = _KIND_ABSENT
+            encoded = b""
+        elif isinstance(value, str):
+            kinds[i] = _KIND_STR
+            encoded = value.encode("utf-8")
+        else:
+            kinds[i] = _KIND_JSON
+            encoded = json.dumps(value).encode("utf-8")
+        if encoded:
+            chunks.append(encoded)
+            size += len(encoded)
+        offsets[i + 1] = size
+    blob = np.frombuffer(b"".join(chunks), dtype=np.uint8) if size else np.empty(0, np.uint8)
+    return {"kind": kinds, "offsets": offsets, "blob": blob}
+
+
+def decode_value(kind: int, payload: memoryview | bytes):
+    """Decode one packed value; returns :data:`ABSENT` for absent cells."""
+    if kind == _KIND_NONE:
+        return None
+    if kind == _KIND_STR:
+        return str(payload, "utf-8")
+    if kind == _KIND_JSON:
+        return json.loads(str(payload, "utf-8"))
+    if kind == _KIND_ABSENT:
+        return ABSENT
+    raise ValueError(f"unknown value kind {kind}")
+
+
+def unpack_column(kind: np.ndarray, offsets: np.ndarray, blob: np.ndarray) -> list:
+    """Decode a whole packed column back into Python values."""
+    raw = blob.tobytes()
+    return [
+        decode_value(int(kind[i]), raw[int(offsets[i]) : int(offsets[i + 1])])
+        for i in range(len(kind))
+    ]
+
+
+class _Absent:
+    """Singleton marking an attribute a record does not carry at all."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ABSENT"
+
+
+ABSENT = _Absent()
+
+
+# -- container read/write ----------------------------------------------------------
+
+
+def shard_file_bytes(segments: dict[str, np.ndarray], meta: dict) -> bytes:
+    """Serialize named arrays + JSON metadata into one container image."""
+    entries: dict[str, dict] = {}
+    offset = 0  # relative to the start of the segment area
+    for name, array in segments.items():
+        array = np.ascontiguousarray(array)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        entries[name] = {
+            "offset": offset,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        }
+        offset += array.nbytes
+    header = json.dumps({"meta": meta, "segments": entries}, sort_keys=True).encode("utf-8")
+    base = len(MAGIC) + 8 + len(header)
+    base_aligned = -(-base // _ALIGN) * _ALIGN
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(len(header).to_bytes(8, "little"))
+    out.write(header)
+    out.write(b"\0" * (base_aligned - base))
+    for name, array in segments.items():
+        pos = base_aligned + entries[name]["offset"]
+        out.write(b"\0" * (pos - out.tell()))
+        out.write(np.ascontiguousarray(array).tobytes())
+    return out.getvalue()
+
+
+def write_shard_file(path: str | Path, segments: dict[str, np.ndarray], meta: dict) -> str:
+    """Write a container to ``path`` (inside a staging dir); returns its sha256."""
+    import hashlib
+
+    data = shard_file_bytes(segments, meta)
+    staged_write_bytes(Path(path), data)
+    return hashlib.sha256(data).hexdigest()
+
+
+class ShardFile:
+    """A read-only memory-mapped view of one shard container file.
+
+    Segments are materialized as ``np.frombuffer`` views over the map:
+    opening a shard reads only the header, and a segment that is never
+    touched is never paged in. ``expected_sha256`` (recorded in the
+    artifact manifest at save time) is verified before the header is
+    trusted — the per-shard, lazy counterpart of the artifact layer's
+    ``checksums.json``.
+    """
+
+    def __init__(self, path: str | Path, expected_sha256: str | None = None):
+        self.path = Path(path)
+        if expected_sha256 is not None:
+            actual = sha256_file(self.path)
+            if actual != expected_sha256:
+                raise IntegrityError(
+                    f"shard file {self.path.name} failed its checksum "
+                    f"(expected {expected_sha256[:12]}…, got {actual[:12]}…)",
+                    path=self.path,
+                )
+        self._handle = open(self.path, "rb")
+        try:
+            self._map = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            self._handle.close()
+            raise
+        try:
+            if self._map[: len(MAGIC)] != MAGIC:
+                raise IntegrityError(
+                    f"{self.path.name} is not a shard container (bad magic)",
+                    path=self.path,
+                )
+            header_len = int.from_bytes(self._map[len(MAGIC) : len(MAGIC) + 8], "little")
+            base = len(MAGIC) + 8 + header_len
+            try:
+                header = json.loads(self._map[len(MAGIC) + 8 : base].decode("utf-8"))
+                self.meta: dict = header["meta"]
+                self._segments: dict = header["segments"]
+            except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                raise IntegrityError(
+                    f"unreadable shard header in {self.path.name}: {exc}",
+                    path=self.path,
+                ) from exc
+            self._base = -(-base // _ALIGN) * _ALIGN
+            self.nbytes = len(self._map)
+        except BaseException:
+            self.close()
+            raise
+
+    def segment(self, name: str) -> np.ndarray:
+        """The named segment as a zero-copy array view over the map."""
+        try:
+            entry = self._segments[name]
+        except KeyError:
+            raise KeyError(f"shard file {self.path.name} has no segment {name!r}") from None
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        array = np.frombuffer(
+            self._map, dtype=dtype, count=count, offset=self._base + entry["offset"]
+        )
+        return array.reshape(shape)
+
+    def segment_names(self) -> list[str]:
+        """Names of every segment in this container, sorted."""
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        """Release the map and file handle (idempotent).
+
+        Raises ``BufferError`` if segment views are still alive; eviction
+        paths that cannot prove that use :meth:`release` instead.
+        """
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None
+        if getattr(self, "_handle", None) is not None:
+            self._handle.close()
+            self._handle = None
+
+    def release(self) -> None:
+        """Drop the file handle and this object's map reference (idempotent).
+
+        Outstanding ``np.frombuffer`` views keep the map itself alive until
+        they are garbage-collected — the safe teardown for LRU eviction,
+        where a just-probed posting array may still be referenced by an
+        in-flight batch.
+        """
+        if getattr(self, "_handle", None) is not None:
+            self._handle.close()
+            self._handle = None
+        self._map = None
+
+    def __enter__(self) -> "ShardFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardFile({self.path.name!r}, nbytes={self.nbytes})"

@@ -1,0 +1,341 @@
+"""Sharded entity store: a global union-find ledger over partitioned payloads.
+
+:class:`ShardedEntityStore` keeps exactly the split that makes out-of-core
+resolution deterministic:
+
+* the **ledger** — union-find parent/rank pointers, entity ordinals, and
+  the record insertion order — is global and in-memory, and runs the same
+  merge algorithm as :class:`~repro.incremental.store.EntityStore` (older
+  entity ordinal survives a merge), so entity ids are byte-for-byte the
+  ids the unsharded engine would assign, no matter how records scatter
+  across shards or how many cross-shard edges a batch produces;
+* the **record payloads** — the bulky part — are partitioned by a stable
+  hash of the record id (:func:`~repro.shard.partition.shard_of_record`)
+  into shards, each an immutable mmap-backed base plus an in-memory
+  overlay of records added since the last save. A shard whose records no
+  batch references is never decoded, and a clean base can be dropped and
+  reopened under a :class:`~repro.shard.loader.ShardLoadManager` budget.
+
+Cross-shard merges need no reconciliation protocol: a merge touches only
+the ledger, never the payloads, so two records in different shards unify
+exactly like two records in the same one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from pathlib import Path
+from types import MappingProxyType
+
+from repro.incremental.store import StoreSnapshot
+from repro.shard.loader import ShardLoadManager
+from repro.shard.partition import shard_of_record, validate_shard_count
+from repro.shard.storage import ABSENT, ShardFile, decode_value, pack_column
+
+__all__ = ["ShardedEntityStore"]
+
+
+class _PayloadShard:
+    """One shard's record payloads: immutable base file + growth overlay."""
+
+    def __init__(self, shard_id: int, loader: ShardLoadManager):
+        self.shard_id = shard_id
+        self.loader = loader
+        self.overlay: list[dict] = []
+        self.n_base = 0
+        self.base_path: Path | None = None
+        self.base_sha256: str | None = None
+        self.base_nbytes = 0
+        self._file: ShardFile | None = None
+        self._columns: list | None = None  # [(name, kind, offsets, blob_bytes)]
+
+    # -- base lifecycle --------------------------------------------------------
+
+    def attach_base(self, path: Path, sha256: str, nbytes: int, n_records: int) -> None:
+        self.base_path = Path(path)
+        self.base_sha256 = sha256
+        self.base_nbytes = int(nbytes)
+        self.n_base = int(n_records)
+
+    def _open(self) -> None:
+        key = ("store", self.shard_id)
+        if self.loader.touch(key):
+            return
+        shard = ShardFile(self.base_path, expected_sha256=self.base_sha256)
+        columns = []
+        for i, name in enumerate(shard.meta["columns"]):
+            columns.append(
+                (
+                    name,
+                    shard.segment(f"c{i}.kind"),
+                    shard.segment(f"c{i}.offsets"),
+                    shard.segment(f"c{i}.blob").tobytes(),
+                )
+            )
+        self._file, self._columns = shard, columns
+        self.loader.register(key, shard.nbytes, self._release)
+
+    def _release(self) -> None:
+        if self._file is not None:
+            self._file.release()
+        self._file = None
+        self._columns = None
+
+    @property
+    def base_loaded(self) -> bool:
+        return self._file is not None
+
+    @property
+    def dirty(self) -> bool:
+        """True when this shard holds records that exist only in memory."""
+        return bool(self.overlay)
+
+    # -- record access ---------------------------------------------------------
+
+    def get(self, slot: int) -> dict:
+        if slot >= self.n_base:
+            return self.overlay[slot - self.n_base]
+        self._open()
+        record = {}
+        for name, kind, offsets, blob in self._columns:
+            value = decode_value(int(kind[slot]), blob[int(offsets[slot]) : int(offsets[slot + 1])])
+            if value is not ABSENT:
+                record[name] = value
+        return record
+
+    def append(self, record: dict) -> int:
+        self.overlay.append(record)
+        return self.n_base + len(self.overlay) - 1
+
+    def __len__(self) -> int:
+        return self.n_base + len(self.overlay)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_segments(self, id_attr: str) -> tuple[dict, dict]:
+        """``(segments, meta)`` for a full rewrite of this shard's payloads.
+
+        Columns are the union of attributes over the shard's records in
+        first-seen order (the id attribute first, for inspectability);
+        records that lack an attribute get the ``ABSENT`` sentinel so they
+        decode back to dicts equal to the originals.
+        """
+        records = [self.get(slot) for slot in range(len(self))]
+        columns: list = [id_attr]
+        seen = {id_attr}
+        for rec in records:
+            for attr in rec:
+                if attr not in seen:
+                    seen.add(attr)
+                    columns.append(attr)
+        segments: dict = {}
+        for i, name in enumerate(columns):
+            packed = pack_column(
+                [rec.get(name, ABSENT) for rec in records], allow_absent=True
+            )
+            segments[f"c{i}.kind"] = packed["kind"]
+            segments[f"c{i}.offsets"] = packed["offsets"]
+            segments[f"c{i}.blob"] = packed["blob"]
+        meta = {"shard": self.shard_id, "n_records": len(records), "columns": columns}
+        return segments, meta
+
+
+class ShardedEntityStore:
+    """Drop-in :class:`~repro.incremental.store.EntityStore` over N shards.
+
+    Parameters
+    ----------
+    id_attr:
+        Record-identifier attribute; ids must be unique forever, as in the
+        unsharded store.
+    n_shards:
+        Payload partition count (1..:data:`~repro.shard.partition.MAX_SHARDS`).
+    loader:
+        Shared :class:`~repro.shard.loader.ShardLoadManager`; a private
+        unbounded one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        id_attr: str = "id",
+        n_shards: int = 2,
+        loader: ShardLoadManager | None = None,
+    ):
+        self.id_attr = id_attr
+        self.n_shards = validate_shard_count(n_shards)
+        self.loader = loader if loader is not None else ShardLoadManager()
+        self._shards = [_PayloadShard(i, self.loader) for i in range(self.n_shards)]
+        self._order: list = []  # record ids in insertion order
+        self._slot: dict = {}  # rid -> (shard_id, slot)
+        self._parent: dict = {}
+        self._rank: dict = {}
+        self._entity_ord: dict = {}
+        self._next_ord = 0
+        # Same discipline as EntityStore: path compression mutates parent
+        # pointers on reads, so readers must exclude the writer too.
+        self._lock = threading.RLock()
+
+    # -- growth ----------------------------------------------------------------
+
+    def add(self, record: dict) -> str:
+        """Register one record as a fresh singleton entity; returns its entity id."""
+        rid = record[self.id_attr]
+        with self._lock:
+            if rid in self._slot:
+                raise ValueError(f"record id {rid!r} is already in the store")
+            shard = self._shards[shard_of_record(rid, self.n_shards)]
+            slot = shard.append(dict(record))
+            self._slot[rid] = (shard.shard_id, slot)
+            self._order.append(rid)
+            self._parent[rid] = rid
+            self._rank[rid] = 0
+            self._entity_ord[rid] = self._next_ord
+            self._next_ord += 1
+            return self._entity_label(self._next_ord - 1)
+
+    def add_records(self, records: Iterable[dict]) -> list[str]:
+        """Register many records; returns their (singleton) entity ids."""
+        return [self.add(rec) for rec in records]
+
+    # -- union-find (identical algorithm to EntityStore) -----------------------
+
+    def _find(self, rid):
+        root = rid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[rid] != root:  # path compression
+            self._parent[rid], rid = root, self._parent[rid]
+        return root
+
+    def merge(self, a_id, b_id) -> str:
+        """Declare two records the same entity; returns the surviving entity id.
+
+        Only the global ledger changes — payload shards are untouched — so
+        a merge across shard boundaries is indistinguishable from one
+        within a shard, and the surviving id is the older ordinal exactly
+        as in the unsharded store.
+        """
+        with self._lock:
+            ra, rb = self._find(a_id), self._find(b_id)
+            if ra == rb:
+                return self._entity_label(self._entity_ord[ra])
+            keep_ord = min(self._entity_ord[ra], self._entity_ord[rb])
+            if self._rank[ra] < self._rank[rb]:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+            if self._rank[ra] == self._rank[rb]:
+                self._rank[ra] += 1
+            self._entity_ord[ra] = keep_ord
+            del self._entity_ord[rb]
+            return self._entity_label(keep_ord)
+
+    # -- lookup ------------------------------------------------------------------
+
+    @staticmethod
+    def _entity_label(ord_: int) -> str:
+        return f"e{ord_}"
+
+    def entity_of(self, record_id) -> str:
+        """Stable entity id of the cluster containing ``record_id``."""
+        with self._lock:
+            return self._entity_label(self._entity_ord[self._find(record_id)])
+
+    def members(self, entity_id: str) -> list:
+        """Record ids in one entity's cluster (insertion order)."""
+        return self.entities().get(entity_id, [])
+
+    def entities(self) -> dict[str, list]:
+        """``{entity_id: [record_ids]}`` for every cluster, insertion-ordered."""
+        with self._lock:
+            out: dict[str, list] = {}
+            for rid in self._order:
+                out.setdefault(self.entity_of(rid), []).append(rid)
+            return out
+
+    def snapshot(self) -> StoreSnapshot:
+        """A consistent, immutable view of the current partition.
+
+        Built from the ledger alone — no payload shard is opened or
+        decoded — so serving-layer lookups over a mostly-cold store stay
+        cheap.
+        """
+        with self._lock:
+            entities = {eid: tuple(m) for eid, m in self.entities().items()}
+            assignments = {
+                rid: eid for eid, members in entities.items() for rid in members
+            }
+            return StoreSnapshot(
+                n_records=len(self._order),
+                n_entities=len(self._entity_ord),
+                entities=MappingProxyType(entities),
+                assignments=MappingProxyType(assignments),
+            )
+
+    def clusters(self) -> list[frozenset]:
+        """The record-id partition as frozensets (for comparing resolutions)."""
+        return [frozenset(m) for m in self.entities().values()]
+
+    def get(self, record_id) -> dict:
+        """Record with the given id; raises ``KeyError`` if absent.
+
+        Touching a record whose shard is cold opens (and budget-accounts)
+        that shard's base file.
+        """
+        with self._lock:
+            shard_id, slot = self._slot[record_id]
+            return self._shards[shard_id].get(slot)
+
+    def records(self) -> list[dict]:
+        """All records in insertion order (decodes every shard — bulk path)."""
+        with self._lock:
+            return [self.get(rid) for rid in self._order]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, record_id) -> bool:
+        return record_id in self._slot
+
+    @property
+    def n_entities(self) -> int:
+        """Number of distinct entities across every shard."""
+        return len(self._entity_ord)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEntityStore(n_records={len(self)}, n_entities={self.n_entities}, "
+            f"n_shards={self.n_shards})"
+        )
+
+    # -- shard introspection -----------------------------------------------------
+
+    def shard_of(self, record_id) -> int:
+        """Which payload shard holds ``record_id`` (``KeyError`` if absent)."""
+        return self._slot[record_id][0]
+
+    def shard_sizes(self) -> list[dict]:
+        """Per-shard record counts, on-disk bytes, and residency."""
+        return [
+            {
+                "shard": shard.shard_id,
+                "records": len(shard),
+                "overlay_records": len(shard.overlay),
+                "base_bytes": shard.base_nbytes,
+                "loaded": shard.base_loaded,
+                "dirty": shard.dirty,
+            }
+            for shard in self._shards
+        ]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON snapshot in :meth:`EntityStore.to_state`'s schema (bulk path)."""
+        with self._lock:
+            return {
+                "id_attr": self.id_attr,
+                "records": self.records(),
+                "entities": {eid: list(m) for eid, m in self.entities().items()},
+                "next_ord": self._next_ord,
+            }

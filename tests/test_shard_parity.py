@@ -1,0 +1,128 @@
+"""Sharded-vs-unsharded parity on the six fixture benchmarks.
+
+The acceptance bar for the sharded engine: for every fixture dataset
+(linkage and dedup), any shard count, and workers 1 or 4, a resolve batch
+must produce bit-identical candidate pairs, scores, match sets, and stable
+entity ids to the classic single-process engine. One batch fit per dataset
+is shared across configurations (``freeze`` re-derives the frozen state,
+so each configuration still gets its own store/index).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.pipeline import ERPipeline
+from repro.blocking.overlap import TokenOverlapBlocker
+from repro.eval.harness import _BLOCKING, load_benchmark
+
+DATASETS = ("rest_fz", "pub_da", "pub_ds", "mv_ri", "prod_ab", "prod_ag")
+
+_FITTED: dict = {}
+
+
+def _fitted(name):
+    """One batch fit per dataset, shared by every parity configuration."""
+    if name not in _FITTED:
+        bench = load_benchmark(name, scale="tiny", seed=11)
+        attr, min_overlap, top_k, _cap = _BLOCKING[name]
+        pipeline = ERPipeline(
+            blocker=TokenOverlapBlocker(attr, min_overlap=min_overlap, top_k=top_k)
+        )
+        if bench.right is not None:
+            pipeline.run(bench.left, bench.right)
+        else:
+            pipeline.run(bench.left)
+        _FITTED[name] = (pipeline, bench)
+    return _FITTED[name]
+
+
+def _held_out_batch(bench, n=25):
+    batch = []
+    for i, rec in enumerate(bench.left):
+        if i >= n:
+            break
+        batch.append(dict(rec, **{bench.left.id_attr: f"probe-{i}"}))
+    return batch
+
+
+def _resolve_fingerprint(pipeline, bench, *, shards, workers):
+    resolver = pipeline.freeze(0.5, shards=shards, workers=workers)
+    try:
+        result = resolver.resolve(_held_out_batch(bench))
+        return {
+            "pairs": result.pairs,
+            "scores": result.scores.tobytes(),
+            "matches": result.matches,
+            "assignments": result.assignments,
+            "entities": {
+                rid: resolver.store.entity_of(rid) for rid in result.assignments
+            },
+            "clusters": set(resolver.store.clusters()),
+            "sharded": resolver.sharded,
+        }
+    finally:
+        resolver.close()
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_sharded_resolve_is_bit_identical(name):
+    pipeline, bench = _fitted(name)
+    reference = _resolve_fingerprint(pipeline, bench, shards=1, workers=1)
+    assert not reference["sharded"]
+    for shards in (2, 5, 16):
+        sharded = _resolve_fingerprint(pipeline, bench, shards=shards, workers=1)
+        assert sharded.pop("sharded")
+        reference_view = {k: v for k, v in reference.items() if k != "sharded"}
+        assert sharded == reference_view, f"{name} diverged at shards={shards}"
+
+
+@pytest.mark.parametrize("name", ["rest_fz", "mv_ri"])
+def test_worker_pool_is_bit_identical(name):
+    """workers=4 featurizes in subprocesses; scores must not move a bit."""
+    pipeline, bench = _fitted(name)
+    reference = _resolve_fingerprint(pipeline, bench, shards=1, workers=1)
+    parallel = _resolve_fingerprint(pipeline, bench, shards=3, workers=4)
+    assert parallel.pop("sharded")
+    assert parallel == {k: v for k, v in reference.items() if k != "sharded"}
+
+
+def test_shard_stats_only_on_sharded_engine():
+    pipeline, bench = _fitted("rest_fz")
+    classic = pipeline.freeze(0.5)
+    sharded = pipeline.freeze(0.5, shards=4)
+    try:
+        batch = _held_out_batch(bench, n=10)
+        assert classic.resolve(batch).shard_stats is None
+        result = sharded.resolve(batch)
+        stats = result.shard_stats
+        assert stats is not None
+        assert stats["n_shards"] == 4
+        assert stats["workers"] == 1
+        assert set(stats["index_shards_touched"]) <= set(range(4))
+        assert sum(stats["pairs_per_shard"].values()) == len(result.pairs)
+    finally:
+        classic.close()
+        sharded.close()
+
+
+def test_mixed_batch_merges_match_reference():
+    """In-batch duplicates + cross-store merges land on identical entity ids."""
+    pipeline, bench = _fitted("rest_fz")
+    id_attr = bench.left.id_attr
+    twins = []
+    for i, rec in enumerate(bench.left):
+        if i >= 8:
+            break
+        twins.append(dict(rec, **{id_attr: f"dup-a-{i}"}))
+        twins.append(dict(rec, **{id_attr: f"dup-b-{i}"}))
+    classic = pipeline.freeze(0.5)
+    sharded = pipeline.freeze(0.5, shards=5)
+    try:
+        out_classic = classic.resolve(twins)
+        out_sharded = sharded.resolve(twins)
+        assert out_sharded.matches == out_classic.matches
+        np.testing.assert_array_equal(out_sharded.scores, out_classic.scores)
+        assert out_sharded.assignments == out_classic.assignments
+    finally:
+        classic.close()
+        sharded.close()

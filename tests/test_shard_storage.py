@@ -1,0 +1,123 @@
+"""Shard container format: column codec, round trips, integrity, teardown."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.reliability.atomic import IntegrityError
+from repro.shard import ShardFile, pack_column, unpack_column, write_shard_file
+from repro.shard.storage import ABSENT, MAGIC, shard_file_bytes
+
+
+class TestColumnCodec:
+    def test_round_trips_scalars(self):
+        values = ["plain", None, 3, 2.5, "", "unicode é中", -1.75e-9, True]
+        packed = pack_column(values)
+        assert unpack_column(packed["kind"], packed["offsets"], packed["blob"]) == values
+
+    def test_absent_is_distinct_from_none(self):
+        packed = pack_column([None, ABSENT, "x"], allow_absent=True)
+        out = unpack_column(packed["kind"], packed["offsets"], packed["blob"])
+        assert out[0] is None
+        assert out[1] is ABSENT
+        assert out[2] == "x"
+
+    def test_absent_rejected_outside_record_columns(self):
+        with pytest.raises(ValueError, match="ABSENT"):
+            pack_column([ABSENT])
+
+    def test_float_round_trip_is_exact(self):
+        values = [0.1, 1 / 3, float(np.float64(7).item()) ** 0.5, -0.0]
+        packed = pack_column(values)
+        out = unpack_column(packed["kind"], packed["offsets"], packed["blob"])
+        assert all(a == b for a, b in zip(out, values))
+
+
+class TestContainerRoundTrip:
+    def _segments(self):
+        return {
+            "plist": np.arange(17, dtype=np.int64),
+            "indptr": np.array([0, 5, 17], dtype=np.int64),
+            "kinds": np.array([1, 0, 2], dtype=np.uint8),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "s.shard"
+        meta = {"shard": 3, "columns": ["name", "city"]}
+        sha = write_shard_file(path, self._segments(), meta)
+        shard = ShardFile(path, expected_sha256=sha)
+        assert shard.meta == meta
+        assert shard.segment_names() == ["empty", "indptr", "kinds", "plist"]
+        for name, expected in self._segments().items():
+            got = shard.segment(name)
+            assert got.dtype == expected.dtype
+            np.testing.assert_array_equal(got, expected)
+        shard.release()  # views may still be alive in this frame
+
+    def test_segments_are_zero_copy_views(self, tmp_path):
+        path = tmp_path / "s.shard"
+        write_shard_file(path, self._segments(), {})
+        shard = ShardFile(path)
+        view = shard.segment("plist")
+        assert not view.flags.writeable  # backed by the read-only map
+        shard.release()
+
+    def test_image_is_deterministic(self):
+        image_a = shard_file_bytes(self._segments(), {"shard": 1})
+        image_b = shard_file_bytes(self._segments(), {"shard": 1})
+        assert image_a == image_b
+
+    def test_missing_segment_raises_key_error(self, tmp_path):
+        path = tmp_path / "s.shard"
+        write_shard_file(path, self._segments(), {})
+        with ShardFile(path) as shard:
+            with pytest.raises(KeyError, match="nope"):
+                shard.segment("nope")
+
+
+class TestIntegrity:
+    def test_corrupt_byte_fails_checksum(self, tmp_path):
+        path = tmp_path / "s.shard"
+        sha = write_shard_file(path, {"a": np.arange(8)}, {})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError, match="checksum"):
+            ShardFile(path, expected_sha256=sha)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "s.shard"
+        path.write_bytes(b"NOTSHARD" + b"\0" * 64)
+        with pytest.raises(IntegrityError, match="magic"):
+            ShardFile(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "s.shard"
+        image = shard_file_bytes({"a": np.arange(4)}, {})
+        path.write_bytes(image[: len(MAGIC) + 8 + 5])
+        with pytest.raises(IntegrityError):
+            ShardFile(path)
+
+
+class TestTeardown:
+    def test_close_with_live_views_raises_buffer_error(self, tmp_path):
+        path = tmp_path / "s.shard"
+        write_shard_file(path, {"a": np.arange(8)}, {})
+        shard = ShardFile(path)
+        view = shard.segment("a")
+        with pytest.raises(BufferError):
+            shard.close()
+        del view
+        gc.collect()
+        shard.close()
+
+    def test_release_is_safe_with_live_views(self, tmp_path):
+        path = tmp_path / "s.shard"
+        write_shard_file(path, {"a": np.arange(8, dtype=np.int64)}, {})
+        shard = ShardFile(path)
+        view = shard.segment("a")
+        shard.release()  # must not raise; the view stays readable
+        np.testing.assert_array_equal(view, np.arange(8))
+        shard.release()  # idempotent
